@@ -1,0 +1,80 @@
+// A3 — ablation: local-search post-pass on top of every algorithm's output.
+// Documents how much of the approximation slack is recoverable by simple
+// move/swap/class-batch improvements.
+
+#include "bench_util.h"
+#include "core/generators.h"
+#include "improve/local_search.h"
+#include "restricted/approx.h"
+#include "unrelated/greedy.h"
+#include "unrelated/rounding.h"
+
+using namespace setsched;
+
+int main() {
+  bench::header("A3", "local-search post-pass on each algorithm");
+  Table table({"start", "seeds", "mean before", "mean after", "mean gain %",
+               "mean moves"});
+
+  const std::size_t seeds = bench::large_mode() ? 12 : 5;
+
+  // Unrelated instances for the general algorithms.
+  UnrelatedGenParams up;
+  up.num_jobs = bench::large_mode() ? 80 : 40;
+  up.num_machines = 6;
+  up.num_classes = 8;
+
+  struct Row {
+    const char* name;
+    std::vector<double> before, after, moves;
+  };
+  Row rows[] = {{"greedy min-load", {}, {}, {}},
+                {"greedy class-batch", {}, {}, {}},
+                {"randomized rounding", {}, {}, {}},
+                {"2-approx (restricted)", {}, {}, {}}};
+
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const Instance inst = generate_unrelated(up, seed);
+    const auto run = [&](Row& row, const Schedule& start) {
+      const double before = makespan(inst, start);
+      const LocalSearchResult ls = local_search(inst, start);
+      row.before.push_back(before);
+      row.after.push_back(ls.makespan);
+      row.moves.push_back(static_cast<double>(ls.moves_applied));
+    };
+    run(rows[0], greedy_min_load(inst).schedule);
+    run(rows[1], greedy_class_batch(inst).schedule);
+    RoundingOptions ropt;
+    ropt.seed = seed;
+    ropt.search_precision = 0.1;
+    run(rows[2], randomized_rounding(inst, ropt).schedule);
+
+    // Restricted family for the 2-approx.
+    RestrictedGenParams rp;
+    rp.num_jobs = up.num_jobs;
+    rp.num_machines = up.num_machines;
+    rp.num_classes = up.num_classes;
+    rp.min_eligible = 2;
+    const Instance rinst = generate_restricted_class_uniform(rp, seed);
+    const ConstantApproxResult two = two_approx_restricted(rinst, 0.05);
+    const double before = two.makespan;
+    const LocalSearchResult ls = local_search(rinst, two.schedule);
+    rows[3].before.push_back(before);
+    rows[3].after.push_back(ls.makespan);
+    rows[3].moves.push_back(static_cast<double>(ls.moves_applied));
+  }
+
+  for (const Row& row : rows) {
+    const double before = summarize(row.before).mean;
+    const double after = summarize(row.after).mean;
+    table.row()
+        .add(row.name)
+        .add(row.before.size())
+        .add(before, 1)
+        .add(after, 1)
+        .add(100.0 * (before - after) / before, 1)
+        .add(summarize(row.moves).mean, 1);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A4 — micro-benchmarks of the LP substrate (google-benchmark): random
+// dense LPs and the scheduling LPs the algorithms actually build.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "lp/simplex.h"
+#include "restricted/relaxed_lp.h"
+#include "unrelated/assignment_lp.h"
+
+using namespace setsched;
+
+namespace {
+
+lp::Model random_dense_lp(std::size_t vars, std::size_t cons, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  lp::Model m(lp::Objective::kMaximize);
+  for (std::size_t j = 0; j < vars; ++j) {
+    m.add_variable(0, 1, rng.next_real(0.1, 1.0));
+  }
+  for (std::size_t r = 0; r < cons; ++r) {
+    std::vector<lp::Entry> row;
+    for (std::size_t j = 0; j < vars; ++j) {
+      row.push_back({j, rng.next_real(0.1, 1.0)});
+    }
+    m.add_constraint(std::move(row), lp::Sense::kLessEqual,
+                     rng.next_real(1.0, double(vars) / 4));
+  }
+  return m;
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  const auto model = random_dense_lp(vars, vars / 2, 42);
+  for (auto _ : state) {
+    const lp::Solution sol = lp::solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_AssignmentLp(benchmark::State& state) {
+  UnrelatedGenParams p;
+  p.num_jobs = static_cast<std::size_t>(state.range(0));
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 7);
+  const double T = unrelated_upper_bound(inst);
+  for (auto _ : state) {
+    const auto frac = solve_assignment_lp(inst, T);
+    benchmark::DoNotOptimize(frac.has_value());
+  }
+}
+BENCHMARK(BM_AssignmentLp)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RelaxedRaLp(benchmark::State& state) {
+  RestrictedGenParams p;
+  p.num_jobs = static_cast<std::size_t>(state.range(0));
+  p.num_machines = 8;
+  p.num_classes = 12;
+  p.min_eligible = 2;
+  const Instance inst = generate_restricted_class_uniform(p, 9);
+  const double T = relaxed_lp_floor(inst) * 1.3;
+  for (auto _ : state) {
+    const auto lp = solve_relaxed_lp(inst, T);
+    benchmark::DoNotOptimize(lp.has_value());
+  }
+}
+BENCHMARK(BM_RelaxedRaLp)->Arg(50)->Arg(150);
+
+}  // namespace
+
+BENCHMARK_MAIN();

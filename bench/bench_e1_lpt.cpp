@@ -1,0 +1,111 @@
+// E1 — Lemma 2.1: the setup-aware LPT is a 3(1+1/sqrt(3)) ~= 4.74-approx on
+// uniformly related machines. Measures its ratio against the exact optimum
+// (small instances) and the combinatorial lower bound (large instances),
+// next to plain LPT, across instance families.
+
+#include "bench_util.h"
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "exact/branch_bound.h"
+#include "uniform/lpt.h"
+
+using namespace setsched;
+
+namespace {
+
+struct Family {
+  const char* name;
+  UniformGenParams params;
+};
+
+void ratio_vs_exact() {
+  Table table({"family", "n", "m", "K", "seeds", "mean ratio", "max ratio",
+               "plain-LPT max", "bound"});
+  std::vector<Family> families;
+  {
+    UniformGenParams base;
+    base.num_jobs = 10;
+    base.num_machines = 3;
+    base.num_classes = 3;
+    families.push_back({"balanced", base});
+    Family setup_heavy{"setup-heavy", base};
+    setup_heavy.params.min_setup = 30;
+    setup_heavy.params.max_setup = 80;
+    setup_heavy.params.min_job_size = 1;
+    setup_heavy.params.max_job_size = 15;
+    families.push_back(setup_heavy);
+    Family tiny_jobs{"tiny-jobs", base};
+    tiny_jobs.params.min_job_size = 1;
+    tiny_jobs.params.max_job_size = 4;
+    tiny_jobs.params.min_setup = 10;
+    tiny_jobs.params.max_setup = 20;
+    families.push_back(tiny_jobs);
+    Family identical{"identical-machines", base};
+    identical.params.profile = SpeedProfile::kIdentical;
+    families.push_back(identical);
+  }
+  const std::size_t seeds = bench::large_mode() ? 40 : 12;
+
+  for (const Family& family : families) {
+    std::vector<double> ratios, plain_ratios;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      const UniformInstance inst = generate_uniform(family.params, seed);
+      const ExactResult opt = solve_exact(inst);
+      if (!opt.proven_optimal) continue;
+      ratios.push_back(lpt_with_placeholders(inst).makespan / opt.makespan);
+      plain_ratios.push_back(lpt_uniform(inst).makespan / opt.makespan);
+    }
+    const Summary s = summarize(ratios);
+    const Summary p = summarize(plain_ratios);
+    table.row()
+        .add(family.name)
+        .add(family.params.num_jobs)
+        .add(family.params.num_machines)
+        .add(family.params.num_classes)
+        .add(s.count)
+        .add(s.mean)
+        .add(s.max)
+        .add(p.max)
+        .add(kLptSetupFactor);
+  }
+  table.print(std::cout);
+}
+
+void ratio_vs_lower_bound() {
+  Table table({"n", "m", "K", "seeds", "mean vs LB", "max vs LB", "bound"});
+  const std::size_t seeds = bench::large_mode() ? 20 : 6;
+  const std::size_t sizes[] = {100, 300, bench::large_mode() ? 1000u : 600u};
+  for (const std::size_t n : sizes) {
+    UniformGenParams p;
+    p.num_jobs = n;
+    p.num_machines = 8;
+    p.num_classes = 12;
+    std::vector<double> ratios;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      const UniformInstance inst = generate_uniform(p, seed + 100);
+      ratios.push_back(lpt_with_placeholders(inst).makespan /
+                       uniform_lower_bound(inst));
+    }
+    const Summary s = summarize(ratios);
+    table.row()
+        .add(n)
+        .add(p.num_machines)
+        .add(p.num_classes)
+        .add(s.count)
+        .add(s.mean)
+        .add(s.max)
+        .add(kLptSetupFactor);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E1", "Lemma 2.1 setup-aware LPT approximation ratios");
+  std::cout << "\nSmall instances (ratio vs exact optimum):\n";
+  ratio_vs_exact();
+  std::cout << "\nLarge instances (ratio vs combinatorial lower bound):\n";
+  ratio_vs_lower_bound();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E4 — Theorem 3.5: the randomized SetCover reduction separates Yes- and
+// No-instances by a Θ(log) factor in makespan. Yes-instances (planted cover
+// of size t) admit schedules with ~K e t/m + 2 log2 m setups per machine;
+// No-instances (all sets small) force >= K * cover_lb / m on any algorithm.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "setcover/reduction.h"
+#include "setcover/setcover.h"
+#include "unrelated/greedy.h"
+
+using namespace setsched;
+
+int main() {
+  bench::header("E4", "SetCover reduction: Yes/No makespan separation");
+  Table table({"N", "m", "t", "K", "yes makespan", "yes greedy", "no lower bnd",
+               "no greedy", "gap (no-lb / yes)", "theory r"});
+
+  struct Config {
+    std::size_t universe, m, t;
+  };
+  std::vector<Config> configs = {{32, 8, 2}, {64, 16, 4}, {128, 16, 4}};
+  if (bench::large_mode()) {
+    configs.push_back({256, 32, 8});
+    configs.push_back({512, 32, 8});
+  }
+
+  for (const Config& cfg : configs) {
+    // Yes-instance: planted cover of size t.
+    const PlantedSetCover yes =
+        generate_planted_setcover(cfg.universe, cfg.m, cfg.t, 1);
+    ReductionParams params;
+    params.seed = 2;
+    const SetCoverReduction yes_red = reduce_setcover(yes.instance, cfg.t, params);
+    const ScheduleResult yes_sched =
+        schedule_from_cover(yes_red, yes.instance, yes.planted);
+    const ScheduleResult yes_greedy = greedy_min_load(yes_red.instance);
+    const std::size_t K = yes_red.num_classes();
+
+    // No-instance: every set small => any cover needs >= 3t sets.
+    const std::size_t max_set =
+        std::max<std::size_t>(1, cfg.universe / (3 * cfg.t));
+    const SetCoverInstance no_sc =
+        generate_small_sets_setcover(cfg.universe, cfg.m, max_set, 3);
+    ReductionParams no_params;
+    no_params.num_classes = K;
+    no_params.seed = 4;
+    const SetCoverReduction no_red = reduce_setcover(no_sc, cfg.t, no_params);
+    const double no_lb = reduction_makespan_lower_bound(
+        K, cfg.m, min_cover_lower_bound(no_sc));
+    const ScheduleResult no_greedy = greedy_min_load(no_red.instance);
+
+    const double theory_r =
+        2.0 * double(K) * std::exp(1.0) * double(cfg.t) / double(cfg.m) +
+        2.0 * std::log2(double(cfg.m));
+
+    table.row()
+        .add(cfg.universe)
+        .add(cfg.m)
+        .add(cfg.t)
+        .add(K)
+        .add(yes_sched.makespan, 1)
+        .add(yes_greedy.makespan, 1)
+        .add(no_lb, 1)
+        .add(no_greedy.makespan, 1)
+        .add(no_lb / yes_sched.makespan, 2)
+        .add(theory_r, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\n(Makespans on reduction instances count setups; the"
+               " Yes-schedule stays below the No lower bound, and the gap is"
+               " the hardness separation of Theorem 3.5.)\n";
+  return 0;
+}

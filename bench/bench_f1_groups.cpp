@@ -1,0 +1,83 @@
+// F1 — Figure 1 of the paper: the speed-group structure behind the PTAS.
+// Prints, for a representative instance and makespan guess, the group
+// occupancy (machines per group with the two-group overlap) and, per class,
+// its core group and the core/fringe split of its jobs — the quantities
+// Fig. 1 illustrates on the speed axis.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "uniform/groups.h"
+#include "uniform/simplify.h"
+
+using namespace setsched;
+
+int main() {
+  bench::header("F1", "speed groups, native and core groups (paper Fig. 1)");
+
+  UniformGenParams p;
+  p.num_jobs = 40;
+  p.num_machines = 10;
+  p.num_classes = 6;
+  p.profile = SpeedProfile::kGeometric;
+  p.max_speed_ratio = bench::large_mode() ? 4096.0 : 256.0;
+  const UniformInstance raw = generate_uniform(p, 11);
+
+  const double eps = 0.5;
+  const double T = uniform_lower_bound(raw) * 2.0;
+  const SimplifiedInstance simplified = simplify_instance(raw, T, eps);
+  const UniformInstance& inst = simplified.instance;
+  const double vmin =
+      *std::min_element(inst.speed.begin(), inst.speed.end());
+  const GroupStructure groups(eps, vmin, T);
+
+  std::cout << "eps = " << eps << ", gamma = " << groups.gamma()
+            << ", T = " << T << ", machines = " << inst.num_machines() << "\n\n";
+
+  // Machines per group (each machine in exactly two groups).
+  int max_group = 0;
+  for (const double v : inst.speed) {
+    max_group = std::max(max_group, groups.machine_lower_group(v));
+  }
+  Table occupancy({"group g", "speed range [v_g, v^g)", "machines (overlap)"});
+  for (int g = 0; g <= max_group; ++g) {
+    std::size_t count = 0;
+    for (const double v : inst.speed) count += groups.machine_in_group(v, g);
+    occupancy.row()
+        .add(static_cast<long long>(g))
+        .add("[" + format_double(groups.lower_boundary(g), 3) + ", " +
+             format_double(groups.lower_boundary(g + 2), 3) + ")")
+        .add(count);
+  }
+  occupancy.print(std::cout);
+
+  // Classes: core group and job split (the braces/intervals of Fig. 1).
+  std::cout << "\n";
+  Table classes({"class", "setup size", "core group", "core jobs",
+                 "fringe jobs", "native groups of fringe jobs"});
+  const auto by_class = inst.jobs_by_class();
+  for (ClassId k = 0; k < inst.num_classes(); ++k) {
+    std::size_t core = 0, fringe = 0;
+    std::string natives;
+    for (const JobId j : by_class[k]) {
+      if (groups.is_fringe_job(inst.job_size[j], inst.setup_size[k])) {
+        ++fringe;
+        natives += (natives.empty() ? "" : " ") +
+                   std::to_string(groups.native_group(inst.job_size[j]));
+      } else {
+        ++core;
+      }
+    }
+    classes.row()
+        .add(static_cast<std::size_t>(k))
+        .add(inst.setup_size[k], 2)
+        .add(static_cast<long long>(groups.core_group(inst.setup_size[k])))
+        .add(core)
+        .add(fringe)
+        .add(natives.empty() ? "-" : natives);
+  }
+  classes.print(std::cout);
+  return 0;
+}

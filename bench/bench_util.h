@@ -1,0 +1,28 @@
+#pragma once
+
+// Shared helpers for the experiment harness. Every bench binary prints its
+// experiment's table(s) with small default presets so the whole bench
+// directory can be executed in one sweep; SETSCHED_BENCH_LARGE=1 switches to
+// the full parameter grids reported in EXPERIMENTS.md.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace setsched::bench {
+
+inline bool large_mode() {
+  const char* env = std::getenv("SETSCHED_BENCH_LARGE");
+  return env != nullptr && std::string(env) != "0";
+}
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title
+            << (large_mode() ? "  [large]" : "  [small preset]") << " ===\n";
+}
+
+}  // namespace setsched::bench

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+#include "core/instance.h"
+#include "unrelated/assignment_lp.h"
+#include "unrelated/rounding.h"
+
+namespace setsched {
+
+/// Column-generation solver for the *configuration LP* of scheduling with
+/// setup times: a configuration of machine i is a job set S with
+///   Σ_{j∈S} p_ij + Σ_{k: S∩J_k≠∅} s_ik <= T.
+/// The restricted master problem maximizes fractional job coverage subject
+/// to one unit of configuration mass per machine; coverage n certifies
+/// (fractional) feasibility of the guess T. Pricing is a knapsack with
+/// class opening costs, solved exactly on a scaled grid of `grid` buckets:
+/// item weights are rounded *up*, so every generated configuration genuinely
+/// fits in T, at the price of conservatism (a feasible T may be reported
+/// infeasible-at-grid when Σ of up-rounding slack matters). The recovered
+/// (x, y) pair satisfies the assignment-LP constraints (1), (2), (4) and is
+/// consumed unchanged by the Theorem 3.3 randomized rounding — this is the
+/// scalable path when the direct LP's Θ(nm) coupling rows are too large.
+struct ConfigLpOptions {
+  std::size_t grid = 2048;
+  std::size_t max_iterations = 80;
+  double tol = 1e-6;
+  /// Optional pool: pricing problems across machines run in parallel.
+  ThreadPool* pool = nullptr;
+};
+
+enum class ConfigLpStatus {
+  kFeasible,          ///< coverage n reached; fractional solution returned
+  kInfeasibleAtGrid,  ///< no improving column and coverage < n
+  kIterationLimit,
+};
+
+struct ConfigLpResult {
+  ConfigLpStatus status = ConfigLpStatus::kIterationLimit;
+  FractionalAssignment fractional;  ///< valid iff kFeasible
+  double coverage = 0.0;            ///< final RMP objective (<= n)
+  std::size_t columns = 0;
+  std::size_t iterations = 0;
+};
+
+[[nodiscard]] ConfigLpResult solve_config_lp(const Instance& instance, double T,
+                                             const ConfigLpOptions& options = {});
+
+/// Theorem 3.3 rounding driven by the configuration LP instead of the direct
+/// assignment LP: binary-searches the smallest grid-feasible T, then runs
+/// the unchanged randomized rounding on the recovered fractional solution.
+[[nodiscard]] RoundingResult randomized_rounding_config(
+    const Instance& instance, const RoundingOptions& rounding = {},
+    const ConfigLpOptions& config = {});
+
+}  // namespace setsched

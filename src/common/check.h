@@ -1,0 +1,29 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace setsched {
+
+/// Thrown when a library precondition or internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Verifies a precondition / invariant; throws CheckError with location info.
+///
+/// This is the library's contract-checking primitive (per the C++ Core
+/// Guidelines we prefer a function over a macro; the call site is recovered
+/// via std::source_location).
+inline void check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": " + std::string(message));
+  }
+}
+
+}  // namespace setsched

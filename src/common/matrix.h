@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace setsched {
+
+/// Dense row-major matrix. Deliberately minimal: the library only needs
+/// contiguous storage with checked 2-D indexing (processing-time and
+/// setup-time tables, simplex tableaus).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) {
+    check(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& at(std::size_t r, std::size_t c) const {
+    check(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (rows are contiguous).
+  [[nodiscard]] T* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  [[nodiscard]] const T* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  [[nodiscard]] bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace setsched

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace setsched {
+
+/// SplitMix64: used to seed Xoshiro and as a standalone mixing function.
+/// Reference: Steele, Lea, Flood (2014); public-domain reference algorithm.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ PRNG (Blackman & Vigna). Deterministic, fast, and a valid
+/// UniformRandomBitGenerator, so it plugs into <random> distributions.
+///
+/// All randomized algorithms in this library take explicit seeds and build
+/// private generator instances; there is no global RNG state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm();
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's rejection-free-ish method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Debiased multiply-shift; bound == 0 is a caller bug but we avoid UB.
+    if (bound == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  constexpr bool next_bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Derives an independent child generator (for parallel substreams).
+  Xoshiro256 split() noexcept { return Xoshiro256((*this)()); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle of a random-access container.
+template <typename Container>
+void shuffle(Container& c, Xoshiro256& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+/// Random permutation of {0, ..., n-1}.
+template <typename Index = std::size_t>
+std::vector<Index> random_permutation(std::size_t n, Xoshiro256& rng) {
+  std::vector<Index> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<Index>(i);
+  shuffle(perm, rng);
+  return perm;
+}
+
+}  // namespace setsched

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace setsched {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+/// Computes summary statistics; returns all-zero Summary for empty input.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolation percentile, q in [0, 1]. Input need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Geometric mean (requires strictly positive values; returns 0 otherwise).
+[[nodiscard]] double geometric_mean(std::span<const double> sample);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace setsched

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace setsched {
+
+/// Console table builder used by the benchmark harness to print the
+/// paper-style result tables (and optionally CSV for post-processing).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; values are appended with add().
+  Table& row();
+  Table& add(const std::string& value);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders comma-separated values (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with examples).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace setsched

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace setsched {
+
+/// Fixed-size worker pool with a fork-join parallel_for helper.
+///
+/// Design notes (per the HPC guides: explicit, structured parallelism):
+///  * tasks are plain std::function<void()>; no futures on the hot path;
+///  * parallel_for blocks until all chunks finish (structured fork-join),
+///    so callers never observe concurrent mutation after it returns;
+///  * exceptions thrown by tasks are captured and rethrown on join.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means hardware_concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Runs body(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. The first task exception (if any) is rethrown.
+  /// Iterations are distributed in contiguous chunks.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Library-wide default pool (lazily constructed, sized to the hardware).
+ThreadPool& default_pool();
+
+}  // namespace setsched

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace setsched {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace setsched

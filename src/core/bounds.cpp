@@ -1,0 +1,68 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace setsched {
+
+double uniform_lower_bound(const UniformInstance& instance) {
+  instance.validate();
+  const double vmax = *std::max_element(instance.speed.begin(), instance.speed.end());
+  double total_speed = 0.0;
+  for (const double v : instance.speed) total_speed += v;
+
+  std::vector<char> class_used(instance.num_classes(), 0);
+  double total_work = 0.0;
+  double max_single = 0.0;
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    total_work += instance.job_size[j];
+    class_used[instance.job_class[j]] = 1;
+    max_single = std::max(
+        max_single,
+        (instance.job_size[j] + instance.setup_size[instance.job_class[j]]) / vmax);
+  }
+  for (ClassId k = 0; k < instance.num_classes(); ++k) {
+    if (class_used[k]) total_work += instance.setup_size[k];
+  }
+  return std::max(total_work / total_speed, max_single);
+}
+
+double unrelated_lower_bound(const Instance& instance) {
+  double bound = 0.0;
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    double best = kInfinity;
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      if (!instance.eligible(i, j)) continue;
+      best = std::min(best, instance.proc(i, j) + instance.setup_for_job(i, j));
+    }
+    check(best < kInfinity, "job has no eligible machine");
+    bound = std::max(bound, best);
+  }
+  return bound;
+}
+
+Schedule best_machine_schedule(const Instance& instance) {
+  Schedule schedule = Schedule::empty(instance.num_jobs());
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    double best = kInfinity;
+    MachineId arg = kUnassigned;
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      if (!instance.eligible(i, j)) continue;
+      const double cost = instance.proc(i, j) + instance.setup_for_job(i, j);
+      if (cost < best) {
+        best = cost;
+        arg = i;
+      }
+    }
+    check(arg != kUnassigned, "job has no eligible machine");
+    schedule.assignment[j] = arg;
+  }
+  return schedule;
+}
+
+double unrelated_upper_bound(const Instance& instance) {
+  return makespan(instance, best_machine_schedule(instance));
+}
+
+}  // namespace setsched

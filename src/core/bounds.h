@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace setsched {
+
+/// Lower bound on the optimal makespan for uniformly related machines:
+///   max( (Σ_j p_j + Σ_{k : J_k ≠ ∅} s_k) / Σ_i v_i ,
+///        max_j (p_j + s_{k_j}) / v_max ).
+/// Every non-empty class pays at least one setup somewhere; every job pays
+/// its own setup at least once on some machine.
+[[nodiscard]] double uniform_lower_bound(const UniformInstance& instance);
+
+/// Lower bound on the optimal makespan for unrelated machines:
+///   max_j min_{i eligible} (p_ij + s_i,k_j).
+[[nodiscard]] double unrelated_lower_bound(const Instance& instance);
+
+/// The "best machine per job" schedule (argmin p_ij + s_i,k_j); always
+/// feasible, so its makespan is an upper bound on OPT. Used to bootstrap
+/// binary searches.
+[[nodiscard]] Schedule best_machine_schedule(const Instance& instance);
+
+/// Convenience: makespan of best_machine_schedule.
+[[nodiscard]] double unrelated_upper_bound(const Instance& instance);
+
+}  // namespace setsched

@@ -1,0 +1,260 @@
+#include "core/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace setsched {
+
+namespace {
+
+double draw(Xoshiro256& rng, double lo, double hi, bool integral) {
+  double v = rng.next_real(lo, hi);
+  if (integral) v = std::max(1.0, std::round(v));
+  return v;
+}
+
+std::vector<double> make_speeds(const UniformGenParams& params,
+                                Xoshiro256& rng) {
+  const std::size_t m = params.num_machines;
+  std::vector<double> speed(m, 1.0);
+  switch (params.profile) {
+    case SpeedProfile::kIdentical:
+      break;
+    case SpeedProfile::kUniformRandom:
+      for (auto& v : speed) v = rng.next_real(1.0, params.max_speed_ratio);
+      break;
+    case SpeedProfile::kGeometric: {
+      if (m > 1) {
+        const double r =
+            std::pow(params.max_speed_ratio, 1.0 / static_cast<double>(m - 1));
+        double v = 1.0;
+        for (std::size_t i = 0; i < m; ++i, v *= r) speed[i] = v;
+      }
+      break;
+    }
+    case SpeedProfile::kTwoTier:
+      for (std::size_t i = m / 2; i < m; ++i) speed[i] = params.max_speed_ratio;
+      break;
+  }
+  return speed;
+}
+
+}  // namespace
+
+UniformInstance generate_uniform(const UniformGenParams& params,
+                                 std::uint64_t seed) {
+  check(params.num_jobs > 0 && params.num_machines > 0 && params.num_classes > 0,
+        "generator requires positive dimensions");
+  Xoshiro256 rng(seed);
+  UniformInstance inst;
+  inst.speed = make_speeds(params, rng);
+  inst.setup_size.resize(params.num_classes);
+  for (auto& s : inst.setup_size) {
+    s = draw(rng, params.min_setup, params.max_setup, params.integral);
+  }
+  inst.job_size.resize(params.num_jobs);
+  inst.job_class.resize(params.num_jobs);
+  for (JobId j = 0; j < params.num_jobs; ++j) {
+    inst.job_size[j] =
+        draw(rng, params.min_job_size, params.max_job_size, params.integral);
+    inst.job_class[j] =
+        static_cast<ClassId>(rng.next_below(params.num_classes));
+  }
+  inst.validate();
+  return inst;
+}
+
+Instance generate_unrelated(const UnrelatedGenParams& params,
+                            std::uint64_t seed) {
+  check(params.num_jobs > 0 && params.num_machines > 0 && params.num_classes > 0,
+        "generator requires positive dimensions");
+  check(params.eligibility > 0.0 && params.eligibility <= 1.0,
+        "eligibility must be in (0,1]");
+  Xoshiro256 rng(seed);
+
+  std::vector<ClassId> job_class(params.num_jobs);
+  for (auto& k : job_class) {
+    k = static_cast<ClassId>(rng.next_below(params.num_classes));
+  }
+  Instance inst(params.num_machines, params.num_classes, std::move(job_class));
+
+  std::vector<double> base(params.num_jobs);
+  std::vector<double> factor(params.num_machines, 1.0);
+  if (params.correlated) {
+    for (auto& b : base) b = rng.next_real(params.min_proc, params.max_proc);
+    for (auto& f : factor) f = rng.next_real(0.5, 2.0);
+  }
+
+  for (JobId j = 0; j < params.num_jobs; ++j) {
+    // Guarantee eligibility on one uniformly chosen machine.
+    const auto forced =
+        static_cast<MachineId>(rng.next_below(params.num_machines));
+    for (MachineId i = 0; i < params.num_machines; ++i) {
+      const bool keep = i == forced || rng.next_bernoulli(params.eligibility);
+      if (!keep) {
+        inst.set_proc(i, j, kInfinity);
+        continue;
+      }
+      double p;
+      if (params.correlated) {
+        p = base[j] * factor[i] * rng.next_real(0.8, 1.25);
+        p = std::clamp(p, params.min_proc, params.max_proc * 4.0);
+        if (params.integral) p = std::max(1.0, std::round(p));
+      } else {
+        p = draw(rng, params.min_proc, params.max_proc, params.integral);
+      }
+      inst.set_proc(i, j, p);
+    }
+  }
+  for (MachineId i = 0; i < params.num_machines; ++i) {
+    for (ClassId k = 0; k < params.num_classes; ++k) {
+      inst.set_setup(i, k,
+                     draw(rng, params.min_setup, params.max_setup,
+                          params.integral));
+    }
+  }
+  inst.validate();
+  return inst;
+}
+
+PlantedUnrelated generate_planted_unrelated(const PlantedGenParams& params,
+                                            std::uint64_t seed) {
+  check(params.num_jobs >= params.num_machines,
+        "planted generator needs num_jobs >= num_machines");
+  check(params.num_classes >= 1, "need at least one class");
+  check(params.offplan_factor >= 1.0, "offplan_factor must be >= 1");
+  Xoshiro256 rng(seed);
+
+  const std::size_t n = params.num_jobs;
+  const std::size_t m = params.num_machines;
+  const std::size_t kc = params.num_classes;
+
+  // Classes are clustered: class k's home machine is k % m. A job on home
+  // machine i draws its class among classes homed at i, so the planted
+  // schedule pays few setups per machine.
+  std::vector<std::vector<ClassId>> classes_of_machine(m);
+  for (ClassId k = 0; k < kc; ++k) {
+    classes_of_machine[k % m].push_back(k);
+  }
+  // Machines with no homed class (m > K) borrow class 0.
+  for (auto& list : classes_of_machine) {
+    if (list.empty()) list.push_back(0);
+  }
+
+  std::vector<ClassId> job_class(n);
+  Schedule planted = Schedule::empty(n);
+  for (JobId j = 0; j < n; ++j) {
+    const auto home = static_cast<MachineId>(j % m);
+    planted.assignment[j] = home;
+    const auto& options = classes_of_machine[home];
+    job_class[j] = options[rng.next_below(options.size())];
+  }
+
+  Instance inst(m, kc, job_class);
+
+  // Per-machine processing budget: split target_load across its jobs.
+  const double jobs_per_machine = static_cast<double>(n) / static_cast<double>(m);
+  const double mean_size = params.target_load / jobs_per_machine;
+  for (JobId j = 0; j < n; ++j) {
+    const MachineId home = planted.assignment[j];
+    double p = rng.next_real(0.5 * mean_size, 1.5 * mean_size);
+    if (params.integral) p = std::max(1.0, std::round(p));
+    inst.set_proc(home, j, p);
+    for (MachineId i = 0; i < m; ++i) {
+      if (i == home) continue;
+      double q = p * rng.next_real(1.0, params.offplan_factor);
+      if (params.integral) q = std::max(1.0, std::round(q));
+      inst.set_proc(i, j, q);
+    }
+  }
+  const double max_setup =
+      std::max(1.0, params.setup_fraction * params.target_load);
+  for (MachineId i = 0; i < m; ++i) {
+    for (ClassId k = 0; k < kc; ++k) {
+      double s = rng.next_real(1.0, max_setup);
+      if (params.integral) s = std::max(1.0, std::round(s));
+      inst.set_setup(i, k, s);
+    }
+  }
+  inst.validate();
+
+  PlantedUnrelated out{std::move(inst), std::move(planted), 0.0};
+  out.planted_makespan = makespan(out.instance, out.planted);
+  return out;
+}
+
+Instance generate_restricted_class_uniform(const RestrictedGenParams& params,
+                                           std::uint64_t seed) {
+  check(params.num_jobs > 0 && params.num_machines > 0 && params.num_classes > 0,
+        "generator requires positive dimensions");
+  Xoshiro256 rng(seed);
+  const std::size_t m = params.num_machines;
+  const std::size_t max_elig =
+      params.max_eligible == 0 ? m : std::min(params.max_eligible, m);
+  const std::size_t min_elig = std::min(std::max<std::size_t>(1, params.min_eligible), max_elig);
+
+  std::vector<ClassId> job_class(params.num_jobs);
+  for (auto& k : job_class) {
+    k = static_cast<ClassId>(rng.next_below(params.num_classes));
+  }
+  Instance inst(m, params.num_classes, std::move(job_class));
+
+  // Per class: eligible machine set M_k and machine-independent setup s_k.
+  std::vector<std::vector<char>> eligible(params.num_classes,
+                                          std::vector<char>(m, 0));
+  for (ClassId k = 0; k < params.num_classes; ++k) {
+    const std::size_t count =
+        static_cast<std::size_t>(rng.next_int(
+            static_cast<std::int64_t>(min_elig), static_cast<std::int64_t>(max_elig)));
+    auto perm = random_permutation<MachineId>(m, rng);
+    for (std::size_t t = 0; t < count; ++t) eligible[k][perm[t]] = 1;
+    const double s = draw(rng, params.min_setup, params.max_setup, params.integral);
+    for (MachineId i = 0; i < m; ++i) {
+      inst.set_setup(i, k, eligible[k][i] ? s : kInfinity);
+    }
+  }
+  for (JobId j = 0; j < params.num_jobs; ++j) {
+    const ClassId k = inst.job_class(j);
+    const double p =
+        draw(rng, params.min_job_size, params.max_job_size, params.integral);
+    for (MachineId i = 0; i < m; ++i) {
+      inst.set_proc(i, j, eligible[k][i] ? p : kInfinity);
+    }
+  }
+  inst.validate();
+  return inst;
+}
+
+Instance generate_class_uniform_processing(const ClassUniformGenParams& params,
+                                           std::uint64_t seed) {
+  check(params.num_jobs > 0 && params.num_machines > 0 && params.num_classes > 0,
+        "generator requires positive dimensions");
+  Xoshiro256 rng(seed);
+  std::vector<ClassId> job_class(params.num_jobs);
+  for (auto& k : job_class) {
+    k = static_cast<ClassId>(rng.next_below(params.num_classes));
+  }
+  Instance inst(params.num_machines, params.num_classes, std::move(job_class));
+
+  Matrix<double> class_proc(params.num_machines, params.num_classes);
+  for (MachineId i = 0; i < params.num_machines; ++i) {
+    for (ClassId k = 0; k < params.num_classes; ++k) {
+      class_proc(i, k) = draw(rng, params.min_proc, params.max_proc, params.integral);
+      inst.set_setup(i, k,
+                     draw(rng, params.min_setup, params.max_setup,
+                          params.integral));
+    }
+  }
+  for (JobId j = 0; j < params.num_jobs; ++j) {
+    for (MachineId i = 0; i < params.num_machines; ++i) {
+      inst.set_proc(i, j, class_proc(i, inst.job_class(j)));
+    }
+  }
+  inst.validate();
+  return inst;
+}
+
+}  // namespace setsched

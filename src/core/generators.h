@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace setsched {
+
+/// Machine speed profiles for uniformly related instances.
+enum class SpeedProfile {
+  kIdentical,      ///< all speeds 1
+  kUniformRandom,  ///< v_i uniform in [1, max_speed_ratio]
+  kGeometric,      ///< v_i = r^i with r chosen to span max_speed_ratio
+  kTwoTier,        ///< half slow (1), half fast (max_speed_ratio)
+};
+
+struct UniformGenParams {
+  std::size_t num_jobs = 20;
+  std::size_t num_machines = 4;
+  std::size_t num_classes = 4;
+  double min_job_size = 1.0;
+  double max_job_size = 100.0;
+  double min_setup = 1.0;
+  double max_setup = 50.0;
+  SpeedProfile profile = SpeedProfile::kUniformRandom;
+  double max_speed_ratio = 8.0;
+  bool integral = true;  ///< round sizes to integers (paper: p, s ∈ N)
+};
+
+/// Random uniformly-related instance; classes assigned uniformly to jobs.
+[[nodiscard]] UniformInstance generate_uniform(const UniformGenParams& params,
+                                               std::uint64_t seed);
+
+struct UnrelatedGenParams {
+  std::size_t num_jobs = 20;
+  std::size_t num_machines = 4;
+  std::size_t num_classes = 4;
+  double min_proc = 1.0;
+  double max_proc = 100.0;
+  double min_setup = 1.0;
+  double max_setup = 50.0;
+  /// Probability that a (machine, job) pair is eligible; each job is
+  /// guaranteed at least one eligible machine.
+  double eligibility = 1.0;
+  /// If true, p_ij = base_j * factor_i * noise (machine-correlated times);
+  /// otherwise fully independent uniform entries.
+  bool correlated = false;
+  bool integral = true;
+};
+
+/// Random unrelated instance.
+[[nodiscard]] Instance generate_unrelated(const UnrelatedGenParams& params,
+                                          std::uint64_t seed);
+
+struct PlantedGenParams {
+  std::size_t num_jobs = 40;
+  std::size_t num_machines = 4;
+  std::size_t num_classes = 8;
+  /// Approximate per-machine processing load of the planted schedule.
+  double target_load = 100.0;
+  /// Off-plan processing times are the planted job size scaled by a factor
+  /// uniform in [1, offplan_factor] on other machines.
+  double offplan_factor = 3.0;
+  /// Setup sizes drawn from [1, setup_fraction * target_load].
+  double setup_fraction = 0.3;
+  bool integral = true;
+};
+
+/// An instance together with the schedule it was planted around.
+/// planted_makespan is an upper bound on OPT (the planted schedule is
+/// feasible), so measured_ratio >= alg_makespan / planted_makespan.
+struct PlantedUnrelated {
+  Instance instance;
+  Schedule planted;
+  double planted_makespan = 0.0;
+};
+
+/// Builds an instance by first fixing a schedule (jobs and classes clustered
+/// onto home machines) and then pricing off-plan entries higher. Gives large
+/// instances with a known-good makespan to normalize against.
+[[nodiscard]] PlantedUnrelated generate_planted_unrelated(
+    const PlantedGenParams& params, std::uint64_t seed);
+
+struct RestrictedGenParams {
+  std::size_t num_jobs = 24;
+  std::size_t num_machines = 6;
+  std::size_t num_classes = 6;
+  double min_job_size = 1.0;
+  double max_job_size = 50.0;
+  double min_setup = 1.0;
+  double max_setup = 30.0;
+  std::size_t min_eligible = 1;  ///< minimum |M_k|
+  std::size_t max_eligible = 0;  ///< maximum |M_k|; 0 means all machines
+  bool integral = true;
+};
+
+/// Restricted assignment with class-uniform restrictions (Theorem 3.10):
+/// every class k has one eligible machine set M_k shared by its jobs,
+/// machine-independent job sizes and setup size.
+[[nodiscard]] Instance generate_restricted_class_uniform(
+    const RestrictedGenParams& params, std::uint64_t seed);
+
+struct ClassUniformGenParams {
+  std::size_t num_jobs = 24;
+  std::size_t num_machines = 6;
+  std::size_t num_classes = 6;
+  double min_proc = 1.0;
+  double max_proc = 50.0;
+  double min_setup = 1.0;
+  double max_setup = 30.0;
+  bool integral = true;
+};
+
+/// Unrelated machines with class-uniform processing times (Theorem 3.11):
+/// p_ij depends only on (i, class of j); setups fully machine-dependent.
+[[nodiscard]] Instance generate_class_uniform_processing(
+    const ClassUniformGenParams& params, std::uint64_t seed);
+
+}  // namespace setsched

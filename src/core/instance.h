@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace setsched {
+
+/// An instance of scheduling with setup times in the most general
+/// (unrelated machines) form:
+///   * n jobs, each belonging to exactly one of K setup classes,
+///   * m machines,
+///   * processing times p_ij  (m x n),  +inf meaning "not eligible",
+///   * setup times      s_ik  (m x K),  +inf meaning "not eligible".
+///
+/// The machine pays s_ik once iff it processes at least one job of class k;
+/// the load of machine i under assignment σ is
+///   Σ_{j: σ(j)=i} p_ij + Σ_{k: some job of class k on i} s_ik.
+///
+/// Identical / uniformly related / restricted assignment instances are
+/// special cases; see UniformInstance and core/generators.h for builders.
+class Instance {
+ public:
+  /// Creates an instance with all processing and setup times zero.
+  /// job_class[j] must be < num_classes for every job j.
+  Instance(std::size_t num_machines, std::size_t num_classes,
+           std::vector<ClassId> job_class);
+
+  [[nodiscard]] std::size_t num_jobs() const noexcept { return job_class_.size(); }
+  [[nodiscard]] std::size_t num_machines() const noexcept { return proc_.rows(); }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return setup_.cols(); }
+
+  [[nodiscard]] double proc(MachineId i, JobId j) const noexcept {
+    return proc_(i, j);
+  }
+  [[nodiscard]] double setup(MachineId i, ClassId k) const noexcept {
+    return setup_(i, k);
+  }
+  void set_proc(MachineId i, JobId j, double value) { proc_.at(i, j) = value; }
+  void set_setup(MachineId i, ClassId k, double value) { setup_.at(i, k) = value; }
+
+  [[nodiscard]] ClassId job_class(JobId j) const noexcept { return job_class_[j]; }
+  [[nodiscard]] std::span<const ClassId> job_classes() const noexcept {
+    return job_class_;
+  }
+
+  /// Setup time machine i pays if it processes job j (= setup for j's class).
+  [[nodiscard]] double setup_for_job(MachineId i, JobId j) const noexcept {
+    return setup_(i, job_class_[j]);
+  }
+
+  /// Job j may run on machine i (both its processing and setup are finite).
+  [[nodiscard]] bool eligible(MachineId i, JobId j) const noexcept {
+    return proc_(i, j) < kInfinity && setup_for_job(i, j) < kInfinity;
+  }
+
+  /// Job lists grouped by class (computed on demand).
+  [[nodiscard]] std::vector<std::vector<JobId>> jobs_by_class() const;
+
+  /// Throws CheckError if the instance is structurally malformed
+  /// (negative times, class ids out of range, or a job with no eligible
+  /// machine).
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const Instance&) const = default;
+
+ private:
+  std::vector<ClassId> job_class_;
+  Matrix<double> proc_;   // m x n
+  Matrix<double> setup_;  // m x K
+};
+
+/// Uniformly related machines: job sizes p_j, setup sizes s_k, and machine
+/// speeds v_i, with p_ij = p_j / v_i and s_ik = s_k / v_i.
+struct UniformInstance {
+  std::vector<double> job_size;    ///< p_j, size n
+  std::vector<ClassId> job_class;  ///< k_j, size n
+  std::vector<double> setup_size;  ///< s_k, size K
+  std::vector<double> speed;       ///< v_i, size m
+
+  [[nodiscard]] std::size_t num_jobs() const noexcept { return job_size.size(); }
+  [[nodiscard]] std::size_t num_machines() const noexcept { return speed.size(); }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return setup_size.size();
+  }
+
+  /// Materializes the unrelated-machines matrix form.
+  [[nodiscard]] Instance to_unrelated() const;
+
+  /// Job lists grouped by class.
+  [[nodiscard]] std::vector<std::vector<JobId>> jobs_by_class() const;
+
+  /// Throws CheckError if malformed (sizes mismatch, non-positive speeds,
+  /// negative sizes, class ids out of range).
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const UniformInstance&) const = default;
+};
+
+/// True iff all jobs of every class have identical rows in the processing
+/// matrix restricted to {p, ∞} with a class-wise common finite value and a
+/// class-wise common eligible machine set, and s_ik ∈ {s_k, ∞} on that set —
+/// i.e. the "restricted assignment with class-uniform restrictions" case of
+/// Theorem 3.10.
+[[nodiscard]] bool is_restricted_class_uniform(const Instance& instance);
+
+/// True iff for every machine i all jobs of a class k share one processing
+/// time p_ik (the "class-uniform processing times" case of Theorem 3.11).
+[[nodiscard]] bool is_class_uniform_processing(const Instance& instance);
+
+}  // namespace setsched

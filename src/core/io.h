@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+
+namespace setsched {
+
+/// Plain-text serialization. Format (whitespace separated, "inf" allowed):
+///
+///   setsched unrelated 1
+///   <m> <n> <K>
+///   <job_class: n ids>
+///   <proc: m rows of n values>
+///   <setup: m rows of K values>
+///
+///   setsched uniform 1
+///   <m> <n> <K>
+///   <job_class: n ids>
+///   <job_size: n values>
+///   <setup_size: K values>
+///   <speed: m values>
+void save_instance(std::ostream& os, const Instance& instance);
+[[nodiscard]] Instance load_instance(std::istream& is);
+
+void save_uniform(std::ostream& os, const UniformInstance& instance);
+[[nodiscard]] UniformInstance load_uniform(std::istream& is);
+
+/// Compact human-readable rendering (intended for small instances/examples).
+[[nodiscard]] std::string describe(const Instance& instance);
+
+}  // namespace setsched

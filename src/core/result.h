@@ -1,0 +1,14 @@
+#pragma once
+
+#include "core/schedule.h"
+
+namespace setsched {
+
+/// Common return type of scheduling algorithms: a complete schedule plus its
+/// (already evaluated) makespan.
+struct ScheduleResult {
+  Schedule schedule;
+  double makespan = 0.0;
+};
+
+}  // namespace setsched

@@ -1,0 +1,123 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace setsched {
+
+namespace {
+
+/// Shared load computation: `proc_time(i, j)` and `setup_time(i, k)` abstract
+/// over the unrelated matrix and the uniform size/speed forms.
+template <typename ProcFn, typename SetupFn>
+std::vector<double> loads_impl(std::size_t num_machines, std::size_t num_classes,
+                               const Schedule& schedule,
+                               std::span<const ClassId> job_class,
+                               ProcFn proc_time, SetupFn setup_time) {
+  std::vector<double> load(num_machines, 0.0);
+  // Bitset of (machine, class) pairs that already paid their setup.
+  std::vector<char> has_class(num_machines * num_classes, 0);
+  for (JobId j = 0; j < schedule.assignment.size(); ++j) {
+    const MachineId i = schedule.assignment[j];
+    if (i == kUnassigned) continue;
+    check(i < num_machines, "schedule references machine out of range");
+    load[i] += proc_time(i, j);
+    const ClassId k = job_class[j];
+    char& flag = has_class[i * num_classes + k];
+    if (!flag) {
+      flag = 1;
+      load[i] += setup_time(i, k);
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+std::vector<double> machine_loads(const Instance& instance,
+                                  const Schedule& schedule) {
+  check(schedule.num_jobs() == instance.num_jobs(),
+        "schedule size does not match instance");
+  return loads_impl(
+      instance.num_machines(), instance.num_classes(), schedule,
+      instance.job_classes(),
+      [&](MachineId i, JobId j) { return instance.proc(i, j); },
+      [&](MachineId i, ClassId k) { return instance.setup(i, k); });
+}
+
+std::vector<double> machine_loads(const UniformInstance& instance,
+                                  const Schedule& schedule) {
+  check(schedule.num_jobs() == instance.num_jobs(),
+        "schedule size does not match instance");
+  return loads_impl(
+      instance.num_machines(), instance.num_classes(), schedule,
+      instance.job_class,
+      [&](MachineId i, JobId j) {
+        return instance.job_size[j] / instance.speed[i];
+      },
+      [&](MachineId i, ClassId k) {
+        return instance.setup_size[k] / instance.speed[i];
+      });
+}
+
+double makespan(const Instance& instance, const Schedule& schedule) {
+  const auto loads = machine_loads(instance, schedule);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+double makespan(const UniformInstance& instance, const Schedule& schedule) {
+  const auto loads = machine_loads(instance, schedule);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+std::optional<std::string> schedule_error(const Instance& instance,
+                                          const Schedule& schedule) {
+  if (schedule.num_jobs() != instance.num_jobs()) {
+    return "schedule has " + std::to_string(schedule.num_jobs()) +
+           " jobs, instance has " + std::to_string(instance.num_jobs());
+  }
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    const MachineId i = schedule.assignment[j];
+    if (i == kUnassigned) {
+      return "job " + std::to_string(j) + " is unassigned";
+    }
+    if (i >= instance.num_machines()) {
+      return "job " + std::to_string(j) + " assigned to invalid machine " +
+             std::to_string(i);
+    }
+    if (!instance.eligible(i, j)) {
+      return "job " + std::to_string(j) + " assigned to ineligible machine " +
+             std::to_string(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<ClassId>> classes_per_machine(const Instance& instance,
+                                                      const Schedule& schedule) {
+  check(schedule.num_jobs() == instance.num_jobs(),
+        "schedule size does not match instance");
+  std::vector<char> present(instance.num_machines() * instance.num_classes(), 0);
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    const MachineId i = schedule.assignment[j];
+    if (i == kUnassigned) continue;
+    present[i * instance.num_classes() + instance.job_class(j)] = 1;
+  }
+  std::vector<std::vector<ClassId>> out(instance.num_machines());
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    for (ClassId k = 0; k < instance.num_classes(); ++k) {
+      if (present[i * instance.num_classes() + k]) out[i].push_back(k);
+    }
+  }
+  return out;
+}
+
+std::size_t total_setups(const Instance& instance, const Schedule& schedule) {
+  const auto per_machine = classes_per_machine(instance, schedule);
+  std::size_t total = 0;
+  for (const auto& classes : per_machine) total += classes.size();
+  return total;
+}
+
+}  // namespace setsched

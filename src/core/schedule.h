@@ -1,0 +1,62 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace setsched {
+
+/// A (complete or partial) non-preemptive schedule: job -> machine.
+/// The batch model means order within a machine is irrelevant; a machine
+/// processes each class it received as one contiguous batch after one setup.
+struct Schedule {
+  std::vector<MachineId> assignment;  ///< size n; kUnassigned allowed
+
+  /// All-unassigned schedule for n jobs.
+  static Schedule empty(std::size_t num_jobs) {
+    return Schedule{std::vector<MachineId>(num_jobs, kUnassigned)};
+  }
+
+  [[nodiscard]] std::size_t num_jobs() const noexcept {
+    return assignment.size();
+  }
+  [[nodiscard]] bool complete() const noexcept {
+    for (const MachineId i : assignment) {
+      if (i == kUnassigned) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool operator==(const Schedule&) const = default;
+};
+
+/// Load of every machine: processing plus one setup per distinct class
+/// present. Unassigned jobs contribute nothing.
+[[nodiscard]] std::vector<double> machine_loads(const Instance& instance,
+                                                const Schedule& schedule);
+[[nodiscard]] std::vector<double> machine_loads(const UniformInstance& instance,
+                                                const Schedule& schedule);
+
+/// Maximum machine load (0 for the all-unassigned schedule).
+[[nodiscard]] double makespan(const Instance& instance, const Schedule& schedule);
+[[nodiscard]] double makespan(const UniformInstance& instance,
+                              const Schedule& schedule);
+
+/// Returns std::nullopt if `schedule` is a complete feasible schedule of
+/// `instance` (every job assigned to an eligible machine); otherwise a
+/// human-readable description of the first violation found.
+[[nodiscard]] std::optional<std::string> schedule_error(
+    const Instance& instance, const Schedule& schedule);
+
+/// Classes with at least one job on machine i, i.e. the setups machine i pays.
+[[nodiscard]] std::vector<std::vector<ClassId>> classes_per_machine(
+    const Instance& instance, const Schedule& schedule);
+
+/// Total number of setups paid across all machines.
+[[nodiscard]] std::size_t total_setups(const Instance& instance,
+                                       const Schedule& schedule);
+
+}  // namespace setsched

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace setsched {
+
+using JobId = std::uint32_t;
+using MachineId = std::uint32_t;
+using ClassId = std::uint32_t;
+
+/// Ineligible processing/setup entries are modeled as +infinity (matching the
+/// paper's p_ij = ∞ convention for restricted assignment).
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Sentinel for a job not (yet) assigned to any machine.
+inline constexpr MachineId kUnassigned = std::numeric_limits<MachineId>::max();
+
+}  // namespace setsched

@@ -1,0 +1,209 @@
+#include "exact/branch_bound.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/bounds.h"
+
+namespace setsched {
+
+namespace {
+
+class Solver {
+ public:
+  Solver(const Instance& inst, const ExactOptions& opt)
+      : inst_(inst), opt_(opt), m_(inst.num_machines()), kc_(inst.num_classes()) {}
+
+  ExactResult run() {
+    order_jobs();
+    precompute();
+
+    // Incumbent from the trivial greedy schedule.
+    best_schedule_ = best_machine_schedule(inst_);
+    best_ = makespan(inst_, best_schedule_);
+    if (opt_.initial_upper_bound > 0.0) {
+      best_ = std::min(best_, opt_.initial_upper_bound);
+    }
+
+    current_ = Schedule::empty(inst_.num_jobs());
+    loads_.assign(m_, 0.0);
+    class_on_.assign(m_ * kc_, 0);
+    dfs(0, 0.0, remaining_min_total_);
+
+    ExactResult out;
+    out.schedule = best_schedule_;
+    out.makespan = makespan(inst_, best_schedule_);
+    out.proven_optimal = !aborted_;
+    out.nodes = nodes_;
+    return out;
+  }
+
+ private:
+  void order_jobs() {
+    const std::size_t n = inst_.num_jobs();
+    min_proc_.resize(n);
+    for (JobId j = 0; j < n; ++j) {
+      double mn = kInfinity;
+      for (MachineId i = 0; i < m_; ++i) {
+        if (inst_.eligible(i, j)) mn = std::min(mn, inst_.proc(i, j));
+      }
+      min_proc_[j] = mn;
+    }
+    // Class weight = total min processing; heavier classes first, larger jobs
+    // first within a class (good incumbents early, setups shared early).
+    std::vector<double> class_weight(kc_, 0.0);
+    for (JobId j = 0; j < n; ++j) class_weight[inst_.job_class(j)] += min_proc_[j];
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      const ClassId ka = inst_.job_class(a), kb = inst_.job_class(b);
+      if (ka != kb) {
+        if (class_weight[ka] != class_weight[kb]) {
+          return class_weight[ka] > class_weight[kb];
+        }
+        return ka < kb;
+      }
+      return min_proc_[a] > min_proc_[b];
+    });
+    remaining_min_total_ = std::accumulate(min_proc_.begin(), min_proc_.end(), 0.0);
+  }
+
+  void precompute() {
+    // Machine equivalence classes for symmetry breaking: identical processing
+    // columns and setup rows may be interchanged, so among equivalent *empty*
+    // machines only the first is branched on.
+    machine_rep_.resize(m_);
+    for (MachineId i = 0; i < m_; ++i) {
+      machine_rep_[i] = i;
+      for (MachineId r = 0; r < i; ++r) {
+        if (machine_rep_[r] != r) continue;
+        bool same = true;
+        for (JobId j = 0; j < inst_.num_jobs() && same; ++j) {
+          same = inst_.proc(i, j) == inst_.proc(r, j);
+        }
+        for (ClassId k = 0; k < kc_ && same; ++k) {
+          same = inst_.setup(i, k) == inst_.setup(r, k);
+        }
+        if (same) {
+          machine_rep_[i] = r;
+          break;
+        }
+      }
+    }
+  }
+
+  bool out_of_budget() {
+    if (nodes_ >= opt_.max_nodes) return true;
+    if ((nodes_ & 0xFFF) == 0 && timer_.elapsed_seconds() > opt_.time_limit_s) {
+      return true;
+    }
+    return false;
+  }
+
+  void dfs(std::size_t depth, double current_max, double remaining_min) {
+    if (aborted_) return;
+    ++nodes_;
+    if (out_of_budget()) {
+      aborted_ = true;
+      return;
+    }
+    if (depth == order_.size()) {
+      if (current_max < best_) {
+        best_ = current_max;
+        best_schedule_ = current_;
+      }
+      return;
+    }
+
+    // Average-load bound: total future load is at least current total plus
+    // each remaining job's cheapest processing time.
+    const double total_now = std::accumulate(loads_.begin(), loads_.end(), 0.0);
+    if ((total_now + remaining_min) / static_cast<double>(m_) >= best_ - 1e-12) {
+      return;
+    }
+
+    const JobId j = order_[depth];
+    const ClassId k = inst_.job_class(j);
+
+    // Candidate machines sorted by resulting load (best-first search).
+    struct Option {
+      MachineId machine;
+      double new_load;
+      double setup_added;
+    };
+    std::vector<Option> options;
+    options.reserve(m_);
+    std::vector<char> tried_empty_rep(m_, 0);
+    for (MachineId i = 0; i < m_; ++i) {
+      if (!inst_.eligible(i, j)) continue;
+      if (loads_[i] == 0.0) {
+        const MachineId rep = machine_rep_[i];
+        if (tried_empty_rep[rep]) continue;  // symmetric duplicate
+        tried_empty_rep[rep] = 1;
+      }
+      const bool has_setup = class_on_[i * kc_ + k] != 0;
+      const double add_setup = has_setup ? 0.0 : inst_.setup(i, k);
+      const double new_load = loads_[i] + inst_.proc(i, j) + add_setup;
+      if (new_load >= best_ - 1e-12) continue;  // this branch cannot improve
+      options.push_back({i, new_load, add_setup});
+    }
+    std::sort(options.begin(), options.end(),
+              [](const Option& a, const Option& b) { return a.new_load < b.new_load; });
+
+    const double next_remaining = remaining_min - min_proc_[j];
+    for (const Option& o : options) {
+      const MachineId i = o.machine;
+      const double old_load = loads_[i];
+      loads_[i] = o.new_load;
+      char& flag = class_on_[i * kc_ + k];
+      const char old_flag = flag;
+      flag = 1;
+      current_.assignment[j] = i;
+
+      dfs(depth + 1, std::max(current_max, o.new_load), next_remaining);
+
+      current_.assignment[j] = kUnassigned;
+      flag = old_flag;
+      loads_[i] = old_load;
+      if (aborted_) return;
+    }
+  }
+
+  const Instance& inst_;
+  ExactOptions opt_;
+  std::size_t m_;
+  std::size_t kc_;
+
+  std::vector<JobId> order_;
+  std::vector<double> min_proc_;
+  double remaining_min_total_ = 0.0;
+  std::vector<MachineId> machine_rep_;
+
+  Schedule current_ = Schedule::empty(0);
+  std::vector<double> loads_;
+  std::vector<char> class_on_;
+
+  Schedule best_schedule_ = Schedule::empty(0);
+  double best_ = kInfinity;
+
+  std::size_t nodes_ = 0;
+  bool aborted_ = false;
+  Timer timer_;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
+  instance.validate();
+  Solver solver(instance, options);
+  return solver.run();
+}
+
+ExactResult solve_exact(const UniformInstance& instance,
+                        const ExactOptions& options) {
+  return solve_exact(instance.to_unrelated(), options);
+}
+
+}  // namespace setsched

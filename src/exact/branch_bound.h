@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/result.h"
+
+namespace setsched {
+
+struct ExactOptions {
+  /// Node budget; exceeded => result flagged as not proven optimal.
+  std::size_t max_nodes = 200'000'000;
+  /// Wall-clock budget in seconds (checked coarsely).
+  double time_limit_s = 60.0;
+  /// Optional initial upper bound (e.g. from a heuristic); 0 = none.
+  double initial_upper_bound = 0.0;
+};
+
+struct ExactResult {
+  Schedule schedule;
+  double makespan = 0.0;
+  bool proven_optimal = false;
+  std::size_t nodes = 0;
+};
+
+/// Depth-first branch-and-bound over job -> machine assignments.
+///
+/// Jobs are ordered class-by-class (largest class workload first, sizes
+/// non-increasing inside a class) so that setup costs are discovered early.
+/// Pruning: current makespan, per-job best-possible completion, and an
+/// average-load bound (remaining work spread over all machines).
+/// Intended as ground truth for small instances (n <~ 16).
+[[nodiscard]] ExactResult solve_exact(const Instance& instance,
+                                      const ExactOptions& options = {});
+
+/// Convenience overload (converts to the unrelated matrix form).
+[[nodiscard]] ExactResult solve_exact(const UniformInstance& instance,
+                                      const ExactOptions& options = {});
+
+}  // namespace setsched

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/result.h"
+
+namespace setsched {
+
+struct LocalSearchOptions {
+  /// Stop after this many consecutive non-improving sweeps.
+  std::size_t patience = 2;
+  /// Hard cap on full improvement sweeps.
+  std::size_t max_sweeps = 60;
+  /// Also try relocating whole class batches between machines.
+  bool class_moves = true;
+  /// Also try pairwise job swaps (quadratic per sweep; off for huge n).
+  bool swaps = true;
+};
+
+struct LocalSearchResult {
+  Schedule schedule;
+  double makespan = 0.0;
+  std::size_t moves_applied = 0;
+  std::size_t sweeps = 0;
+};
+
+/// First-improvement local search over job moves, job swaps and whole-class
+/// batch moves, steered by makespan with total squared load as tie-breaker
+/// (so plateau moves that balance load are accepted). A post-optimizer for
+/// any schedule produced by the approximation algorithms (used by the A3
+/// ablation); it never worsens the input.
+[[nodiscard]] LocalSearchResult local_search(const Instance& instance,
+                                             const Schedule& start,
+                                             const LocalSearchOptions& options = {});
+
+}  // namespace setsched

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace setsched::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  /// Primal values for the model's variables (empty unless kOptimal).
+  std::vector<double> x;
+  /// Row duals y, in the convention  reduced_cost_j = c_j - y^T A_j  for the
+  /// model's *original* objective sense. For a kMinimize model: y_r <= 0 for
+  /// binding <= rows; for kMaximize: y_r >= 0 for binding <= rows.
+  std::vector<double> duals;
+  /// True for variables that ended basic (useful to inspect the extreme
+  /// point structure; at most num_constraints variables are basic).
+  std::vector<bool> basic;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+struct SimplexOptions {
+  /// Feasibility tolerance on variable values / rhs.
+  double feas_tol = 1e-7;
+  /// Optimality tolerance on reduced costs.
+  double opt_tol = 1e-9;
+  /// Minimum acceptable pivot magnitude.
+  double pivot_tol = 1e-8;
+  /// 0 = automatic (proportional to rows + cols).
+  std::size_t max_iterations = 0;
+  /// Paranoid mode: snapshot the initial system and verify the incremental
+  /// solver state against it after every pivot (throws CheckError on drift).
+  /// Costs one O(rows*cols) pass per pivot; intended for tests.
+  bool audit = false;
+};
+
+/// Solves the LP with a bounded-variable two-phase primal tableau simplex.
+///
+/// Dantzig pricing with an automatic switch to Bland's rule after a long
+/// stall guarantees termination. Basic optimal solutions are extreme points
+/// of the feasible region — a property Theorem 3.10's pseudoforest rounding
+/// relies on.
+[[nodiscard]] Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace setsched::lp

@@ -1,0 +1,229 @@
+#include "restricted/pseudoforest.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace setsched {
+
+namespace {
+
+/// Node numbering: machines are [0, m), classes are [m, m + K).
+struct Graph {
+  std::size_t m = 0;
+  std::size_t kc = 0;
+  // adjacency as (neighbor, edge_id); edges are (machine, class) pairs.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj;
+  std::vector<std::pair<MachineId, ClassId>> edges;
+  std::vector<char> edge_removed;
+
+  [[nodiscard]] bool is_class(std::size_t node) const { return node >= m; }
+  [[nodiscard]] std::size_t class_node(ClassId k) const { return m + k; }
+};
+
+/// Finds the unique cycle (as an edge sequence) of one component, if any,
+/// by peeling degree-<=1 nodes. `component` lists the component's nodes.
+std::vector<std::size_t> find_cycle_edges(const Graph& g,
+                                          const std::vector<std::size_t>& component) {
+  std::vector<std::size_t> degree(g.adj.size(), 0);
+  std::deque<std::size_t> leaves;
+  for (const std::size_t v : component) {
+    degree[v] = g.adj[v].size();
+    if (degree[v] <= 1) leaves.push_back(v);
+  }
+  std::vector<char> peeled(g.adj.size(), 0);
+  while (!leaves.empty()) {
+    const std::size_t v = leaves.front();
+    leaves.pop_front();
+    if (peeled[v]) continue;
+    peeled[v] = 1;
+    for (const auto& [w, e] : g.adj[v]) {
+      if (peeled[w]) continue;
+      if (--degree[w] <= 1) leaves.push_back(w);
+    }
+  }
+  // Remaining nodes (degree 2 inside the unpeeled core) form the cycle.
+  std::vector<std::size_t> core;
+  for (const std::size_t v : component) {
+    if (!peeled[v]) core.push_back(v);
+  }
+  if (core.empty()) return {};  // tree component
+
+  // Walk the cycle collecting edges in order.
+  std::vector<std::size_t> cycle_edges;
+  const std::size_t start = core.front();
+  std::size_t prev = SIZE_MAX;
+  std::size_t cur = start;
+  do {
+    bool advanced = false;
+    for (const auto& [w, e] : g.adj[cur]) {
+      if (peeled[w] || w == prev) continue;
+      cycle_edges.push_back(e);
+      prev = cur;
+      cur = w;
+      advanced = true;
+      break;
+    }
+    check(advanced, "pseudoforest cycle walk failed");
+  } while (cur != start);
+  return cycle_edges;
+}
+
+}  // namespace
+
+EdgeSelection select_pseudoforest_edges(const Matrix<double>& xbar, double eps) {
+  const std::size_t m = xbar.rows();
+  const std::size_t kc = xbar.cols();
+
+  EdgeSelection out;
+  out.plus_machines.assign(kc, {});
+  out.minus_machine.assign(kc, std::nullopt);
+  out.positive = Matrix<char>(m, kc, 0);
+
+  Graph g;
+  g.m = m;
+  g.kc = kc;
+  g.adj.assign(m + kc, {});
+
+  // A class with exactly one positive share is integral; only classes with
+  // >= 2 positive shares enter the graph (all their edges are fractional).
+  for (ClassId k = 0; k < kc; ++k) {
+    std::vector<MachineId> holders;
+    for (MachineId i = 0; i < m; ++i) {
+      if (xbar(i, k) > eps) {
+        out.positive(i, k) = 1;
+        holders.push_back(i);
+      }
+    }
+    if (holders.size() < 2) continue;
+    for (const MachineId i : holders) {
+      const std::size_t e = g.edges.size();
+      g.edges.emplace_back(i, k);
+      g.adj[i].push_back({g.class_node(k), e});
+      g.adj[g.class_node(k)].push_back({static_cast<std::size_t>(i), e});
+    }
+  }
+  g.edge_removed.assign(g.edges.size(), 0);
+
+  // Component decomposition.
+  std::vector<int> component_of(m + kc, -1);
+  std::vector<std::vector<std::size_t>> components;
+  for (std::size_t v = 0; v < m + kc; ++v) {
+    if (component_of[v] != -1 || g.adj[v].empty()) continue;
+    const int c = static_cast<int>(components.size());
+    components.emplace_back();
+    std::deque<std::size_t> queue{v};
+    component_of[v] = c;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      components[c].push_back(u);
+      for (const auto& [w, e] : g.adj[u]) {
+        if (component_of[w] == -1) {
+          component_of[w] = c;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+
+  for (const auto& component : components) {
+    std::size_t edge_count = 0;
+    for (const std::size_t v : component) edge_count += g.adj[v].size();
+    edge_count /= 2;
+    check(edge_count <= component.size(),
+          "support graph is not a pseudoforest (non-basic solution?)");
+
+    // Remove alternate cycle edges, starting with an edge leaving a class.
+    std::vector<std::size_t> cycle = find_cycle_edges(g, component);
+    std::vector<std::size_t> cycle_class_nodes;
+    if (!cycle.empty()) {
+      for (const std::size_t e : cycle) {
+        cycle_class_nodes.push_back(g.class_node(g.edges[e].second));
+      }
+      // Rotate so the walk starts at a class node: the shared node of
+      // consecutive edges alternates class/machine; ensure edge 0 leaves a
+      // class node, i.e. the node common to cycle.back() and cycle[0]...
+      // Simpler: the walk above started at core.front(); find its type.
+      // Edges alternate (class,machine) endpoints; if the first edge's walk
+      // origin was a machine, start removal at index 1 instead.
+      // We recover the orientation from the first two edges.
+      const auto& e0 = g.edges[cycle[0]];
+      const auto& e1 = g.edges[cycle[1]];
+      // Shared endpoint of e0 and e1 is the *second* node of the walk.
+      const bool share_machine = e0.first == e1.first;
+      // Walk origin is e0's other endpoint.
+      const bool origin_is_class = share_machine;  // other endpoint = class
+      const std::size_t offset = origin_is_class ? 0 : 1;
+      for (std::size_t t = offset; t < cycle.size(); t += 2) {
+        g.edge_removed[cycle[t]] = 1;
+      }
+      // A cycle class that lost its edge records the machine as i^-.
+      for (std::size_t t = offset; t < cycle.size(); t += 2) {
+        const auto [i, k] = g.edges[cycle[t]];
+        check(!out.minus_machine[k].has_value(),
+              "class lost two edges in cycle removal");
+        out.minus_machine[k] = i;
+      }
+    }
+
+    // Root every tree of the remaining forest at a class node and keep only
+    // the machine -> parent-class edges. Cycle classes MUST be the roots of
+    // their trees: they already lost one (cycle) edge, and a root loses no
+    // parent edge, which is what keeps Lemma 3.8 (2) intact. After cycle
+    // removal every tree of this component contains exactly one cycle class,
+    // so seeding from them first covers all trees; plain tree components are
+    // seeded from an arbitrary class node.
+    std::vector<std::size_t> root_order = cycle_class_nodes;
+    for (const std::size_t v : component) {
+      if (g.is_class(v)) root_order.push_back(v);
+    }
+    std::vector<char> visited(m + kc, 0);
+    for (const std::size_t root : root_order) {
+      if (visited[root]) continue;
+      // Only start from nodes that still have live edges and are not yet
+      // claimed by another tree of this component.
+      std::deque<std::size_t> queue{root};
+      visited[root] = 1;
+      while (!queue.empty()) {
+        const std::size_t u = queue.front();
+        queue.pop_front();
+        for (const auto& [w, e] : g.adj[u]) {
+          if (g.edge_removed[e] || visited[w]) continue;
+          visited[w] = 1;
+          const auto [i, k] = g.edges[e];
+          if (g.is_class(u)) {
+            // class -> machine edge: machine keeps it (Ẽ).
+            out.plus_machines[k].push_back(i);
+          } else {
+            // machine -> class edge: dropped; records i^- for the class.
+            check(!out.minus_machine[k].has_value(),
+                  "class lost two edges during rooting");
+            out.minus_machine[k] = i;
+          }
+          queue.push_back(w);
+        }
+      }
+    }
+    // Every node with live edges must have been visited (trees all contain a
+    // class node, which seeded them).
+    for (const std::size_t v : component) {
+      bool live = false;
+      for (const auto& [w, e] : g.adj[v]) live |= !g.edge_removed[e];
+      check(!live || visited[v], "forest rooting left a node unvisited");
+    }
+  }
+
+  // Lemma 3.8 (1): each machine appears in at most one plus list.
+  std::vector<char> machine_used(m, 0);
+  for (ClassId k = 0; k < kc; ++k) {
+    for (const MachineId i : out.plus_machines[k]) {
+      check(!machine_used[i], "machine kept two E-tilde edges");
+      machine_used[i] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace setsched

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/types.h"
+
+namespace setsched {
+
+/// Result of the Ẽ edge-selection of Sec. 3.3.1 applied to an extreme
+/// solution of LP-RelaxedRA. For every class k with at least two positive
+/// (hence fractional) shares:
+///   * plus_machines[k]  — machines whose Ẽ edge points to k (every machine
+///     appears under at most one class, Lemma 3.8 (1));
+///   * minus_machine[k]  — the at most one machine with a positive share
+///     whose edge was dropped (Lemma 3.8 (2)), if any.
+/// Classes with a single positive share (integral assignment) have empty
+/// plus_machines and no minus_machine; read the assignment off xbar.
+struct EdgeSelection {
+  std::vector<std::vector<MachineId>> plus_machines;
+  std::vector<std::optional<MachineId>> minus_machine;
+  /// True where xbar(i,k) is (numerically) positive; mirrors the input.
+  Matrix<char> positive;
+};
+
+/// Decomposes the bipartite support graph of `xbar` (machines x classes,
+/// edges where 0 < xbar < 1) into pseudotrees, removes alternate edges along
+/// each component's unique cycle (starting from a class node), roots every
+/// remaining tree at a class node, and drops the edges leaving machine
+/// nodes. Throws CheckError if the support is not a pseudoforest (which
+/// cannot happen for a basic solution).
+[[nodiscard]] EdgeSelection select_pseudoforest_edges(const Matrix<double>& xbar,
+                                                      double eps = 1e-7);
+
+}  // namespace setsched

@@ -1,0 +1,105 @@
+#include "setcover/reduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace setsched {
+
+SetCoverReduction reduce_setcover(const SetCoverInstance& sc,
+                                  std::size_t cover_size,
+                                  const ReductionParams& params) {
+  sc.validate();
+  check(cover_size >= 1, "cover size must be positive");
+  const std::size_t m = sc.num_sets();
+  const std::size_t n_elements = sc.universe_size;
+
+  std::size_t kc = params.num_classes;
+  if (kc == 0) {
+    // Paper: K = (m / t) log m.
+    kc = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(m) / static_cast<double>(cover_size) *
+        std::log2(std::max<double>(2.0, static_cast<double>(m)))));
+  }
+  kc = std::max<std::size_t>(kc, 1);
+
+  Xoshiro256 rng(params.seed);
+
+  // job (k, e) has id k * N + e.
+  std::vector<ClassId> job_class(kc * n_elements);
+  for (std::size_t k = 0; k < kc; ++k) {
+    for (std::size_t e = 0; e < n_elements; ++e) {
+      job_class[k * n_elements + e] = static_cast<ClassId>(k);
+    }
+  }
+  Instance inst(m, kc, std::move(job_class));
+
+  // Element membership lookup per set.
+  std::vector<std::vector<char>> in_set(m, std::vector<char>(n_elements, 0));
+  for (std::size_t s = 0; s < m; ++s) {
+    for (const std::uint32_t e : sc.sets[s]) in_set[s][e] = 1;
+  }
+
+  SetCoverReduction out{std::move(inst), {}, n_elements};
+  out.permutation.resize(kc);
+  for (std::size_t k = 0; k < kc; ++k) {
+    out.permutation[k] = random_permutation<std::uint32_t>(m, rng);
+    for (MachineId i = 0; i < m; ++i) {
+      const std::uint32_t set_index = out.permutation[k][i];
+      out.instance.set_setup(i, static_cast<ClassId>(k), 1.0);
+      for (std::uint32_t e = 0; e < n_elements; ++e) {
+        const JobId j = out.job_of(static_cast<ClassId>(k), e);
+        out.instance.set_proc(i, j, in_set[set_index][e] ? 0.0 : kInfinity);
+      }
+    }
+  }
+  out.instance.validate();
+  return out;
+}
+
+ScheduleResult schedule_from_cover(const SetCoverReduction& reduction,
+                                   const SetCoverInstance& sc,
+                                   const std::vector<std::size_t>& cover) {
+  check(is_cover(sc, cover), "schedule_from_cover requires a cover");
+  const Instance& inst = reduction.instance;
+  const std::size_t m = inst.num_machines();
+  std::vector<char> in_cover(sc.num_sets(), 0);
+  for (const std::size_t s : cover) in_cover[s] = 1;
+
+  Schedule schedule = Schedule::empty(inst.num_jobs());
+  for (ClassId k = 0; k < reduction.num_classes(); ++k) {
+    // Machines playing cover sets for class k.
+    std::vector<MachineId> open;
+    for (MachineId i = 0; i < m; ++i) {
+      if (in_cover[reduction.permutation[k][i]]) open.push_back(i);
+    }
+    for (std::uint32_t e = 0; e < reduction.universe_size; ++e) {
+      const JobId j = reduction.job_of(k, e);
+      MachineId chosen = kUnassigned;
+      for (const MachineId i : open) {
+        if (inst.proc(i, j) == 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      check(chosen != kUnassigned,
+            "cover does not cover an element (inconsistent reduction)");
+      schedule.assignment[j] = chosen;
+    }
+  }
+  return {schedule, makespan(inst, schedule)};
+}
+
+double reduction_makespan_lower_bound(std::size_t num_classes,
+                                      std::size_t num_machines,
+                                      std::size_t cover_lb) {
+  // Every class needs at least cover_lb distinct machines set up (any fewer
+  // machines could not host all its element jobs), so at least
+  // K * cover_lb setups are paid in total; some machine pays the average.
+  return static_cast<double>(num_classes) * static_cast<double>(cover_lb) /
+         static_cast<double>(num_machines);
+}
+
+}  // namespace setsched

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/result.h"
+#include "setcover/setcover.h"
+
+namespace setsched {
+
+/// Output of the Theorem 3.5 randomized reduction. The scheduling instance
+/// has m machines (one per set), K classes with N jobs each (one per
+/// universe element), unit setups s_ik = 1, and p_ij ∈ {0, ∞}: job (k, e) is
+/// eligible on machine i iff e ∈ S_{π_k(i)} for the class's random
+/// permutation π_k. Makespans therefore count setups per machine.
+struct SetCoverReduction {
+  Instance instance;
+  /// permutation[k][i] = index of the set machine i plays for class k.
+  std::vector<std::vector<std::uint32_t>> permutation;
+  std::size_t universe_size = 0;
+
+  [[nodiscard]] std::size_t num_classes() const { return permutation.size(); }
+
+  /// Job id of class k's copy of element e.
+  [[nodiscard]] JobId job_of(ClassId k, std::uint32_t element) const {
+    return static_cast<JobId>(k * universe_size + element);
+  }
+};
+
+struct ReductionParams {
+  /// Number of classes; 0 means the paper's K = (m / t) * log2(m), at least 1.
+  std::size_t num_classes = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the reduction instance from a SetCover instance and the target
+/// cover size t (used only for the default K).
+[[nodiscard]] SetCoverReduction reduce_setcover(const SetCoverInstance& sc,
+                                                std::size_t cover_size,
+                                                const ReductionParams& params = {});
+
+/// The Yes-case schedule of the Thm 3.5 proof: set up machine i for class k
+/// iff S_{π_k(i)} belongs to `cover`; each job goes to such a machine
+/// containing its element. Requires `cover` to be a cover. Its makespan is
+/// the max number of class setups on a machine — O(K t / m + log m) whp.
+[[nodiscard]] ScheduleResult schedule_from_cover(
+    const SetCoverReduction& reduction, const SetCoverInstance& sc,
+    const std::vector<std::size_t>& cover);
+
+/// The No-case averaging bound of the Thm 3.5 proof: if every cover of the
+/// SetCover instance needs at least `cover_lb` sets, every schedule of the
+/// reduction instance has makespan >= K * cover_lb / m.
+[[nodiscard]] double reduction_makespan_lower_bound(std::size_t num_classes,
+                                                    std::size_t num_machines,
+                                                    std::size_t cover_lb);
+
+}  // namespace setsched

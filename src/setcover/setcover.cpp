@@ -1,0 +1,166 @@
+#include "setcover/setcover.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace setsched {
+
+void SetCoverInstance::validate() const {
+  std::vector<char> covered(universe_size, 0);
+  for (const auto& set : sets) {
+    for (const std::uint32_t e : set) {
+      check(e < universe_size, "set element out of range");
+      covered[e] = 1;
+    }
+  }
+  for (const char c : covered) {
+    check(c != 0, "union of sets does not cover the universe");
+  }
+}
+
+bool is_cover(const SetCoverInstance& instance,
+              const std::vector<std::size_t>& selected) {
+  std::vector<char> covered(instance.universe_size, 0);
+  for (const std::size_t s : selected) {
+    check(s < instance.num_sets(), "selected set index out of range");
+    for (const std::uint32_t e : instance.sets[s]) covered[e] = 1;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](char c) { return c != 0; });
+}
+
+std::vector<std::size_t> greedy_cover(const SetCoverInstance& instance) {
+  instance.validate();
+  std::vector<char> covered(instance.universe_size, 0);
+  std::size_t uncovered = instance.universe_size;
+  std::vector<std::size_t> chosen;
+
+  while (uncovered > 0) {
+    std::size_t best = SIZE_MAX;
+    std::size_t best_gain = 0;
+    for (std::size_t s = 0; s < instance.num_sets(); ++s) {
+      std::size_t gain = 0;
+      for (const std::uint32_t e : instance.sets[s]) gain += covered[e] == 0;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    check(best != SIZE_MAX, "greedy stuck: universe not coverable");
+    chosen.push_back(best);
+    for (const std::uint32_t e : instance.sets[best]) {
+      if (!covered[e]) {
+        covered[e] = 1;
+        --uncovered;
+      }
+    }
+  }
+  return chosen;
+}
+
+std::size_t min_cover_lower_bound(const SetCoverInstance& instance) {
+  std::size_t max_size = 0;
+  for (const auto& set : instance.sets) max_size = std::max(max_size, set.size());
+  check(max_size > 0, "all sets empty");
+  return (instance.universe_size + max_size - 1) / max_size;
+}
+
+PlantedSetCover generate_planted_setcover(std::size_t universe,
+                                          std::size_t num_sets,
+                                          std::size_t cover_size,
+                                          std::uint64_t seed) {
+  check(cover_size >= 1 && cover_size <= num_sets,
+        "cover_size must be in [1, num_sets]");
+  check(universe >= cover_size, "universe smaller than cover");
+  Xoshiro256 rng(seed);
+
+  SetCoverInstance inst;
+  inst.universe_size = universe;
+  inst.sets.resize(num_sets);
+
+  // Partition the universe into cover_size planted sets (randomized blocks).
+  auto elements = random_permutation<std::uint32_t>(universe, rng);
+  for (std::size_t e = 0; e < universe; ++e) {
+    inst.sets[e % cover_size].push_back(elements[e]);
+  }
+  const std::size_t avg_size = universe / cover_size;
+
+  // Decoys: random subsets of comparable size (so the planted cover does not
+  // stand out by cardinality).
+  for (std::size_t s = cover_size; s < num_sets; ++s) {
+    const std::size_t size =
+        std::max<std::size_t>(1, avg_size / 2 + rng.next_below(avg_size + 1));
+    auto perm = random_permutation<std::uint32_t>(universe, rng);
+    inst.sets[s].assign(perm.begin(),
+                        perm.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(size, universe)));
+    std::sort(inst.sets[s].begin(), inst.sets[s].end());
+  }
+  for (std::size_t s = 0; s < cover_size; ++s) {
+    std::sort(inst.sets[s].begin(), inst.sets[s].end());
+  }
+
+  // Shuffle set positions so the planted cover is not the prefix.
+  auto position = random_permutation<std::uint32_t>(num_sets, rng);
+  std::vector<std::vector<std::uint32_t>> shuffled(num_sets);
+  for (std::size_t s = 0; s < num_sets; ++s) {
+    shuffled[position[s]] = std::move(inst.sets[s]);
+  }
+  inst.sets = std::move(shuffled);
+
+  PlantedSetCover out;
+  out.instance = std::move(inst);
+  out.planted.resize(cover_size);
+  for (std::size_t s = 0; s < cover_size; ++s) out.planted[s] = position[s];
+  std::sort(out.planted.begin(), out.planted.end());
+  out.instance.validate();
+  check(is_cover(out.instance, out.planted), "planted cover is not a cover");
+  return out;
+}
+
+SetCoverInstance generate_small_sets_setcover(std::size_t universe,
+                                              std::size_t num_sets,
+                                              std::size_t max_set_size,
+                                              std::uint64_t seed) {
+  check(max_set_size >= 1, "max_set_size must be positive");
+  check(num_sets * max_set_size >= universe,
+        "sets too small to cover the universe");
+  Xoshiro256 rng(seed);
+
+  SetCoverInstance inst;
+  inst.universe_size = universe;
+  inst.sets.resize(num_sets);
+
+  // First ceil(universe / max_set_size) sets tile the universe (ensuring
+  // coverage); the rest are random small sets.
+  const std::size_t tiles = (universe + max_set_size - 1) / max_set_size;
+  check(tiles <= num_sets, "not enough sets to tile the universe");
+  auto elements = random_permutation<std::uint32_t>(universe, rng);
+  for (std::size_t e = 0; e < universe; ++e) {
+    inst.sets[e / max_set_size].push_back(elements[e]);
+  }
+  for (std::size_t s = tiles; s < num_sets; ++s) {
+    const std::size_t size = 1 + rng.next_below(max_set_size);
+    auto perm = random_permutation<std::uint32_t>(universe, rng);
+    inst.sets[s].assign(perm.begin(),
+                        perm.begin() + static_cast<std::ptrdiff_t>(size));
+    std::sort(inst.sets[s].begin(), inst.sets[s].end());
+  }
+  for (std::size_t s = 0; s < tiles; ++s) {
+    std::sort(inst.sets[s].begin(), inst.sets[s].end());
+  }
+
+  // Shuffle positions.
+  auto position = random_permutation<std::uint32_t>(num_sets, rng);
+  std::vector<std::vector<std::uint32_t>> shuffled(num_sets);
+  for (std::size_t s = 0; s < num_sets; ++s) {
+    shuffled[position[s]] = std::move(inst.sets[s]);
+  }
+  inst.sets = std::move(shuffled);
+  inst.validate();
+  return inst;
+}
+
+}  // namespace setsched

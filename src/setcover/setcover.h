@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace setsched {
+
+/// A SetCover instance: universe {0, ..., universe_size-1} and a family of
+/// subsets. Substrate for the Theorem 3.5 hardness reduction.
+struct SetCoverInstance {
+  std::size_t universe_size = 0;
+  std::vector<std::vector<std::uint32_t>> sets;
+
+  [[nodiscard]] std::size_t num_sets() const noexcept { return sets.size(); }
+
+  /// Throws CheckError if some set references an element out of range or the
+  /// union of all sets does not cover the universe.
+  void validate() const;
+};
+
+/// True iff the selected set indices cover the whole universe.
+[[nodiscard]] bool is_cover(const SetCoverInstance& instance,
+                            const std::vector<std::size_t>& selected);
+
+/// Classic greedy SetCover (repeatedly pick the set covering the most
+/// uncovered elements): H_n-approximation, our baseline cover finder.
+[[nodiscard]] std::vector<std::size_t> greedy_cover(const SetCoverInstance& instance);
+
+/// Certificate-style lower bound: any cover needs at least
+/// ceil(universe / max set size) sets.
+[[nodiscard]] std::size_t min_cover_lower_bound(const SetCoverInstance& instance);
+
+/// A SetCover instance with a known (planted) cover.
+struct PlantedSetCover {
+  SetCoverInstance instance;
+  std::vector<std::size_t> planted;  ///< indices of the planted cover
+};
+
+/// Yes-type generator: t planted sets partition the universe; the other
+/// m - t sets are random decoys (uniform elements, similar sizes). The
+/// planted cover certifies OPT <= t.
+[[nodiscard]] PlantedSetCover generate_planted_setcover(std::size_t universe,
+                                                        std::size_t num_sets,
+                                                        std::size_t cover_size,
+                                                        std::uint64_t seed);
+
+/// No-type generator: all sets have size <= max_set_size (so any cover needs
+/// >= universe / max_set_size sets) while their union still covers the
+/// universe.
+[[nodiscard]] SetCoverInstance generate_small_sets_setcover(
+    std::size_t universe, std::size_t num_sets, std::size_t max_set_size,
+    std::uint64_t seed);
+
+}  // namespace setsched

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <climits>
+#include <cmath>
+
+#include "core/instance.h"
+
+namespace setsched {
+
+/// Speed-group structure of Section 2.1 (see Fig. 1 of the paper).
+///
+/// With γ = ε³, group g covers speeds [v̌_g, v̂_g) where v̌_g = vmin/γ^(g-1)
+/// and v̂_g = vmin/γ^(g+1) = v̌_(g+2); every speed lies in exactly two
+/// consecutive groups. We index membership via the *lower half*: a speed v
+/// with v̌_L <= v < v̌_(L+1) belongs to groups L-1 (upper half) and L (lower
+/// half). A machine therefore enters the group-by-group DP at group L-1 and
+/// leaves after group L.
+///
+/// Native group of a job j:   lower_index(p_j / T) — the unique group whose
+/// lower half contains p_j/T; it contains all speeds for which p_j is big
+/// (eps*v*T <= p_j <= v*T), making Remark 2.7 hold.
+/// Core group of a class k:   lower_index(s_k / T) — contains all speeds of
+/// core machines (s_k <= T*v < s_k/γ).
+///
+/// ε is restricted to powers of two, so γ = ε³ and all group boundaries are
+/// exact powers of two times vmin — boundary classifications are exact.
+class GroupStructure {
+ public:
+  GroupStructure(double epsilon, double vmin, double T)
+      : epsilon_(epsilon), gamma_(epsilon * epsilon * epsilon),
+        delta_(epsilon * epsilon), vmin_(vmin), T_(T) {}
+
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+  [[nodiscard]] double T() const noexcept { return T_; }
+
+  /// v̌_g = vmin / γ^(g-1).
+  [[nodiscard]] double lower_boundary(int g) const {
+    return vmin_ * std::pow(gamma_, 1 - g);
+  }
+
+  /// The unique L with v̌_L <= x < v̌_(L+1); may be negative or > G.
+  [[nodiscard]] int lower_index(double x) const {
+    if (x <= 0.0) return INT_MIN / 2;
+    // Solve gamma^(1-L) <= x/vmin < gamma^(-L).
+    const double ratio = x / vmin_;
+    // L = 1 + floor(log_{1/gamma}(ratio)) computed in log2 space (gamma is a
+    // power of two, so log2(1/gamma) is a positive integer).
+    const double log_inv_gamma = -std::log2(gamma_);
+    int L = 1 + static_cast<int>(std::floor(std::log2(ratio) / log_inv_gamma));
+    // Guard against boundary roundoff: enforce v̌_L <= x < v̌_(L+1).
+    while (x < lower_boundary(L)) --L;
+    while (x >= lower_boundary(L + 1)) ++L;
+    return L;
+  }
+
+  /// Machine membership: machine with speed v is in groups {L-1, L}.
+  [[nodiscard]] int machine_lower_group(double v) const { return lower_index(v); }
+  [[nodiscard]] bool machine_in_group(double v, int g) const {
+    const int L = lower_index(v);
+    return g == L || g == L - 1;
+  }
+
+  [[nodiscard]] int native_group(double job_size) const {
+    return lower_index(job_size / T_);
+  }
+  [[nodiscard]] int core_group(double setup_size) const {
+    return lower_index(setup_size / T_);
+  }
+
+  /// Fringe jobs of class k have p >= s_k / δ; core jobs ε s_k <= p < s_k/δ.
+  [[nodiscard]] bool is_fringe_job(double job_size, double setup_size) const {
+    return job_size >= setup_size / delta_;
+  }
+
+  /// Job size classification relative to a speed (paper's small/big/huge).
+  [[nodiscard]] bool small_for(double size, double v) const {
+    return size < epsilon_ * v * T_;
+  }
+  [[nodiscard]] bool big_for(double size, double v) const {
+    return size >= epsilon_ * v * T_ && size <= v * T_;
+  }
+  [[nodiscard]] bool huge_for(double size, double v) const {
+    return size > v * T_;
+  }
+
+ private:
+  double epsilon_;
+  double gamma_;
+  double delta_;
+  double vmin_;
+  double T_;
+};
+
+/// Rounds epsilon down to the largest power of two 2^-a <= epsilon with
+/// a >= 1 (the PTAS requires 1/ε ∈ Z, and powers of two make every rounded
+/// size a dyadic rational — all DP arithmetic is then exact in double).
+[[nodiscard]] inline double floor_epsilon_to_power_of_two(double epsilon) {
+  double e = 0.5;
+  while (e > epsilon) e /= 2.0;
+  return e;
+}
+
+}  // namespace setsched

@@ -1,0 +1,143 @@
+#include "uniform/reconstruct.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/check.h"
+
+namespace setsched {
+
+namespace {
+
+struct Item {
+  double total = 0.0;  ///< job sizes, plus the class setup for containers
+  std::vector<JobId> jobs;
+};
+
+}  // namespace
+
+Schedule reconstruct_schedule(const UniformInstance& instance,
+                              const GroupStructure& groups,
+                              const RelaxedSchedule& relaxed) {
+  const double T = groups.T();
+  const std::size_t kc = instance.num_classes();
+
+  Schedule schedule = relaxed.integral;
+  std::vector<double> load = relaxed.relaxed_load;
+
+  // Per-class bookkeeping.
+  std::vector<char> has_fringe(kc, 0);
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    const ClassId k = instance.job_class[j];
+    if (groups.is_fringe_job(instance.job_size[j], instance.setup_size[k])) {
+      has_fringe[k] = 1;
+    }
+  }
+
+  // Machines leaving at group g (their free space hosts F_{g-2}).
+  int max_group = 0;
+  std::vector<int> machine_lower(instance.num_machines());
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    machine_lower[i] = groups.machine_lower_group(instance.speed[i]);
+    max_group = std::max(max_group, machine_lower[i]);
+  }
+
+  std::deque<Item> sequence;
+  std::vector<std::vector<JobId>> postponed(kc);  // F1, placed at the end
+
+  for (int g = 0; g <= max_group; ++g) {
+    // Gather F' = F_{g-2} (g >= 1) or all groups <= -2 (g == 0).
+    std::vector<JobId> fresh;
+    for (const auto& [fg, jobs] : relaxed.fractional_by_group) {
+      const bool take = g == 0 ? fg <= -2 : fg == g - 2;
+      if (take) fresh.insert(fresh.end(), jobs.begin(), jobs.end());
+    }
+
+    // Partition into F1 / F2 / F3.
+    std::vector<Item> containers;
+    std::vector<Item> fringe_items;
+    std::map<ClassId, std::vector<JobId>> core_by_class;
+    for (const JobId j : fresh) {
+      const ClassId k = instance.job_class[j];
+      if (groups.is_fringe_job(instance.job_size[j], instance.setup_size[k])) {
+        fringe_items.push_back({instance.job_size[j], {j}});
+      } else {
+        core_by_class[k].push_back(j);
+      }
+    }
+    std::vector<Item> core_items;  // F3 cores, grouped by class
+    for (auto& [k, jobs] : core_by_class) {
+      double total = 0.0;
+      for (const JobId j : jobs) total += instance.job_size[j];
+      if (total > instance.setup_size[k] / groups.epsilon()) {
+        // F3: individually, but keeping the class contiguous.
+        for (const JobId j : jobs) {
+          core_items.push_back({instance.job_size[j], {j}});
+        }
+      } else if (has_fringe[k]) {
+        // F1: co-locate with a fringe job of k after everything is placed.
+        auto& list = postponed[k];
+        list.insert(list.end(), jobs.begin(), jobs.end());
+      } else {
+        // F2: one container carrying the class setup.
+        Item c{instance.setup_size[k] + total, std::move(jobs)};
+        containers.push_back(std::move(c));
+      }
+    }
+
+    for (auto& c : containers) sequence.push_back(std::move(c));
+    for (auto& f : fringe_items) sequence.push_back(std::move(f));
+    for (auto& c : core_items) sequence.push_back(std::move(c));
+
+    // Fill the group's leaving machines: admit items while load <= v T.
+    if (sequence.empty()) continue;
+    for (MachineId i = 0; i < instance.num_machines() && !sequence.empty(); ++i) {
+      if (machine_lower[i] != g) continue;
+      const double cap = instance.speed[i] * T;
+      while (!sequence.empty() && load[i] <= cap) {
+        Item item = std::move(sequence.front());
+        sequence.pop_front();
+        for (const JobId j : item.jobs) schedule.assignment[j] = i;
+        load[i] += item.total;
+      }
+    }
+  }
+
+  // Anything still in the sequence means the relaxed space accounting was
+  // violated (cannot happen for DP-produced relaxed schedules); place on the
+  // fastest machine to stay correct.
+  if (!sequence.empty()) {
+    MachineId fastest = 0;
+    for (MachineId i = 1; i < instance.num_machines(); ++i) {
+      if (instance.speed[i] > instance.speed[fastest]) fastest = i;
+    }
+    while (!sequence.empty()) {
+      for (const JobId j : sequence.front().jobs) {
+        schedule.assignment[j] = fastest;
+      }
+      sequence.pop_front();
+    }
+  }
+
+  // F1: fractional core jobs of classes with fringe jobs join one of their
+  // class's fringe jobs (which is placed by now).
+  for (ClassId k = 0; k < kc; ++k) {
+    if (postponed[k].empty()) continue;
+    MachineId host = kUnassigned;
+    for (JobId j = 0; j < instance.num_jobs() && host == kUnassigned; ++j) {
+      if (instance.job_class[j] != k) continue;
+      if (!groups.is_fringe_job(instance.job_size[j], instance.setup_size[k])) {
+        continue;
+      }
+      host = schedule.assignment[j];
+    }
+    check(host != kUnassigned, "F1 class has no placed fringe job");
+    for (const JobId j : postponed[k]) schedule.assignment[j] = host;
+  }
+
+  check(schedule.complete(), "reconstruction left a job unassigned");
+  return schedule;
+}
+
+}  // namespace setsched

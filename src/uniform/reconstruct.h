@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "uniform/groups.h"
+#include "uniform/relaxed_dp.h"
+
+namespace setsched {
+
+/// The Lemma 2.8 construction: turns a relaxed schedule with makespan T into
+/// a regular schedule of the (simplified) instance with makespan (1+O(ε))T.
+///
+/// Fractional jobs of group g are packed into groups >= g+2: per class they
+/// are either co-located with a fringe job of their class (F1), wrapped into
+/// a container with one setup (F2, total <= (1+1/ε) s_k), or appended to a
+/// greedy sequence (F3) that fills the free space of each group's leaving
+/// machines, overshooting each machine by at most one small item.
+[[nodiscard]] Schedule reconstruct_schedule(const UniformInstance& instance,
+                                            const GroupStructure& groups,
+                                            const RelaxedSchedule& relaxed);
+
+}  // namespace setsched

@@ -1,0 +1,171 @@
+#include "uniform/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "uniform/groups.h"
+
+namespace setsched {
+
+namespace {
+
+/// Gálvez et al. rounding: t -> 2^e + ceil((t - 2^e) / (ε 2^e)) * ε 2^e with
+/// e = floor(log2 t). With ε a power of two the result is an exact dyadic
+/// rational. Rounding never decreases t and inflates it at most by (1 + ε).
+double round_size(double t, double epsilon) {
+  if (t <= 0.0) return 0.0;
+  const int e = std::ilogb(t);
+  const double base = std::ldexp(1.0, e);        // 2^e <= t
+  const double unit = epsilon * base;            // grid ε 2^e
+  const double steps = std::ceil((t - base) / unit - 1e-12);
+  return base + std::max(0.0, steps) * unit;
+}
+
+/// Geometric speed rounding: v -> (1+ε)^k' vmin, k' = floor(log_{1+ε}(v/vmin)).
+double round_speed(double v, double vmin, double epsilon) {
+  const double k = std::floor(std::log(v / vmin) / std::log1p(epsilon) + 1e-9);
+  return vmin * std::pow(1.0 + epsilon, k);
+}
+
+}  // namespace
+
+SimplifiedInstance simplify_instance(const UniformInstance& original, double T,
+                                     double epsilon) {
+  original.validate();
+  check(T > 0.0, "makespan guess must be positive");
+  check(epsilon > 0.0 && epsilon <= 0.5, "epsilon must be in (0, 1/2]");
+  check(std::ldexp(1.0, std::ilogb(epsilon)) == epsilon,
+        "epsilon must be a power of two");
+
+  SimplifiedInstance out;
+  out.epsilon = epsilon;
+  out.T = T;
+  out.original_machines = original.num_machines();
+
+  const std::size_t n = original.num_jobs();
+  const std::size_t kc = original.num_classes();
+
+  // --- I -> I1: machine filter + minimum sizes ---------------------------
+  const double vmax =
+      *std::max_element(original.speed.begin(), original.speed.end());
+  const double keep_threshold =
+      epsilon * vmax / static_cast<double>(original.num_machines());
+  std::vector<double> speed;
+  for (MachineId i = 0; i < original.num_machines(); ++i) {
+    if (original.speed[i] >= keep_threshold) {
+      out.machine_map.push_back(i);
+      speed.push_back(original.speed[i]);
+    }
+  }
+  check(!speed.empty(), "machine filter removed every machine");
+  const double vmin = *std::min_element(speed.begin(), speed.end());
+  const double min_size =
+      epsilon * vmin * T / static_cast<double>(n + kc);
+
+  std::vector<double> setup_size(kc);
+  for (ClassId k = 0; k < kc; ++k) {
+    setup_size[k] = std::max(original.setup_size[k], min_size);
+  }
+
+  // --- I1 -> I2: placeholders for small jobs -----------------------------
+  out.merged_small_jobs.assign(kc, {});
+  UniformInstance& inst = out.instance;
+  inst.speed = speed;
+
+  std::vector<double> class_small_total(kc, 0.0);
+  for (JobId j = 0; j < n; ++j) {
+    const ClassId k = original.job_class[j];
+    const double p = std::max(original.job_size[j], min_size);
+    if (p <= epsilon * setup_size[k]) {
+      out.merged_small_jobs[k].push_back(j);
+      class_small_total[k] += p;
+    } else {
+      inst.job_size.push_back(p);
+      inst.job_class.push_back(k);
+      out.original_job.push_back(j);
+    }
+  }
+  for (ClassId k = 0; k < kc; ++k) {
+    if (out.merged_small_jobs[k].empty()) continue;
+    const double unit = epsilon * setup_size[k];
+    const std::size_t count = static_cast<std::size_t>(
+        std::ceil(class_small_total[k] / unit - 1e-12));
+    for (std::size_t c = 0; c < std::max<std::size_t>(count, 1); ++c) {
+      inst.job_size.push_back(unit);
+      inst.job_class.push_back(k);
+      out.original_job.push_back(kUnassigned);
+    }
+  }
+
+  // --- I2 -> I3: rounding -------------------------------------------------
+  for (double& p : inst.job_size) p = round_size(p, epsilon);
+  inst.setup_size.resize(kc);
+  for (ClassId k = 0; k < kc; ++k) {
+    inst.setup_size[k] = round_size(setup_size[k], epsilon);
+  }
+  for (double& v : inst.speed) v = round_speed(v, vmin, epsilon);
+
+  inst.validate();
+  return out;
+}
+
+Schedule lift_schedule(const SimplifiedInstance& simplified,
+                       const UniformInstance& original,
+                       const Schedule& schedule) {
+  check(schedule.num_jobs() == simplified.instance.num_jobs(),
+        "schedule does not match the simplified instance");
+  check(schedule.complete(), "simplified schedule must be complete");
+
+  Schedule lifted = Schedule::empty(original.num_jobs());
+
+  // Original jobs keep their machine (mapped back).
+  const std::size_t kc = original.num_classes();
+  // Placeholder capacity per (class, original machine).
+  std::vector<std::vector<double>> capacity(
+      kc, std::vector<double>(original.num_machines(), 0.0));
+
+  for (JobId j = 0; j < simplified.instance.num_jobs(); ++j) {
+    const MachineId mapped = simplified.machine_map[schedule.assignment[j]];
+    const JobId orig = simplified.original_job[j];
+    if (orig != kUnassigned) {
+      lifted.assignment[orig] = mapped;
+    } else {
+      capacity[simplified.instance.job_class[j]][mapped] +=
+          simplified.instance.job_size[j];
+    }
+  }
+
+  // Unpack placeholders greedily (Lemma 2.3): machines admit small jobs
+  // while below their placeholder capacity, over-packing by at most one job.
+  for (ClassId k = 0; k < kc; ++k) {
+    const auto& jobs = simplified.merged_small_jobs[k];
+    if (jobs.empty()) continue;
+    std::size_t pos = 0;
+    MachineId last_with_capacity = kUnassigned;
+    for (MachineId i = 0; i < original.num_machines() && pos < jobs.size(); ++i) {
+      const double cap = capacity[k][i];
+      if (cap <= 0.0) continue;
+      last_with_capacity = i;
+      double used = 0.0;
+      while (pos < jobs.size() && used < cap) {
+        const JobId j = jobs[pos++];
+        lifted.assignment[j] = i;
+        used += std::max(original.job_size[j], 0.0);
+      }
+    }
+    // Numerical slack: leftovers go to the last machine that had capacity.
+    if (pos < jobs.size()) {
+      check(last_with_capacity != kUnassigned,
+            "placeholder jobs without any placeholder slot");
+      while (pos < jobs.size()) {
+        lifted.assignment[jobs[pos++]] = last_with_capacity;
+      }
+    }
+  }
+
+  check(lifted.complete(), "lift left a job unassigned");
+  return lifted;
+}
+
+}  // namespace setsched

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace setsched {
+
+/// The simplification pipeline of Section 2.1 (Lemmas 2.2-2.4) for a given
+/// makespan guess T and accuracy ε (a power of two):
+///   I -> I1: drop machines slower than ε vmax / m; raise job/setup sizes
+///            below ε vmin T / (n + K);
+///   I1 -> I2: per class k, replace jobs with p_j <= ε s_k by
+///            ceil(Σ p / (ε s_k)) placeholders of size ε s_k;
+///   I2 -> I3: round sizes up to 2^e + κ ε 2^e (e = floor(log2 t)); round
+///            speeds down to (1+ε)^k vmin.
+/// If the original instance has a schedule of makespan T, the simplified one
+/// has one of makespan (1+ε)^5 T; a simplified schedule of makespan T' lifts
+/// back to (1+ε) T' (placeholder unpacking, Lemma 2.3).
+struct SimplifiedInstance {
+  UniformInstance instance;  ///< I3
+
+  /// Maps simplified machine index -> original machine index.
+  std::vector<MachineId> machine_map;
+  std::size_t original_machines = 0;
+
+  /// Simplified job j: original job (when original[j] != kUnassigned) or a
+  /// placeholder of its class.
+  std::vector<JobId> original_job;
+  /// Per class: the original small jobs merged into that class's placeholders.
+  std::vector<std::vector<JobId>> merged_small_jobs;
+
+  double epsilon = 0.0;
+  double T = 0.0;
+};
+
+/// Applies the pipeline. epsilon must be a power of two (<= 1/2).
+[[nodiscard]] SimplifiedInstance simplify_instance(const UniformInstance& original,
+                                                   double T, double epsilon);
+
+/// Lifts a schedule of the simplified instance back to the original:
+/// original jobs keep their (mapped) machine; placeholder loads are unpacked
+/// greedily, over-packing at most one small job per class-machine pair
+/// (Lemma 2.3). The result is a complete schedule of the original instance.
+[[nodiscard]] Schedule lift_schedule(const SimplifiedInstance& simplified,
+                                     const UniformInstance& original,
+                                     const Schedule& schedule);
+
+}  // namespace setsched

@@ -1,0 +1,182 @@
+#include "unrelated/assignment_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/bounds.h"
+
+namespace setsched {
+
+namespace {
+
+constexpr std::size_t kNoVar = SIZE_MAX;
+
+}  // namespace
+
+std::optional<FractionalAssignment> solve_assignment_lp(
+    const Instance& instance, double T, const AssignmentLpOptions& options) {
+  const std::size_t n = instance.num_jobs();
+  const std::size_t m = instance.num_machines();
+  const std::size_t kc = instance.num_classes();
+
+  lp::Model model(lp::Objective::kMinimize);
+
+  // x variables for pairs allowed by (5) (and (9) when strengthening).
+  Matrix<std::size_t> xv(m, n, kNoVar);
+  for (MachineId i = 0; i < m; ++i) {
+    for (JobId j = 0; j < n; ++j) {
+      if (!instance.eligible(i, j)) continue;
+      if (instance.proc(i, j) > T) continue;
+      if (options.strengthen &&
+          instance.proc(i, j) + instance.setup_for_job(i, j) > T) {
+        continue;
+      }
+      xv(i, j) = model.add_variable(0.0, 1.0, 0.0);
+    }
+  }
+  // y variables; objective = minimize total fractional setups.
+  Matrix<std::size_t> yv(m, kc, kNoVar);
+  const auto by_class = instance.jobs_by_class();
+  for (MachineId i = 0; i < m; ++i) {
+    for (ClassId k = 0; k < kc; ++k) {
+      if (instance.setup(i, k) >= kInfinity) continue;
+      if (options.strengthen && instance.setup(i, k) > T) continue;  // (10)
+      yv(i, k) = model.add_variable(0.0, 1.0, 1.0);
+    }
+  }
+
+  // (2): every job fully assigned.
+  for (JobId j = 0; j < n; ++j) {
+    std::vector<lp::Entry> row;
+    for (MachineId i = 0; i < m; ++i) {
+      if (xv(i, j) != kNoVar) row.push_back({xv(i, j), 1.0});
+    }
+    if (row.empty()) return std::nullopt;  // job cannot run anywhere under T
+    model.add_constraint(std::move(row), lp::Sense::kEqual, 1.0);
+  }
+
+  // (1): machine load.
+  for (MachineId i = 0; i < m; ++i) {
+    std::vector<lp::Entry> row;
+    for (JobId j = 0; j < n; ++j) {
+      if (xv(i, j) != kNoVar) row.push_back({xv(i, j), instance.proc(i, j)});
+    }
+    for (ClassId k = 0; k < kc; ++k) {
+      if (yv(i, k) != kNoVar) row.push_back({yv(i, k), instance.setup(i, k)});
+    }
+    if (!row.empty()) {
+      model.add_constraint(std::move(row), lp::Sense::kLessEqual, T);
+    }
+  }
+
+  // (4): setup dominates assignment, per eligible (i, j).
+  for (MachineId i = 0; i < m; ++i) {
+    for (JobId j = 0; j < n; ++j) {
+      if (xv(i, j) == kNoVar) continue;
+      const ClassId k = instance.job_class(j);
+      if (yv(i, k) == kNoVar) return std::nullopt;  // x allowed but y not
+      model.add_constraint({{yv(i, k), 1.0}, {xv(i, j), -1.0}},
+                           lp::Sense::kGreaterEqual, 0.0);
+    }
+  }
+
+  // (8): class-level packing rows (strengthening only).
+  if (options.strengthen) {
+    for (MachineId i = 0; i < m; ++i) {
+      for (ClassId k = 0; k < kc; ++k) {
+        if (yv(i, k) == kNoVar) continue;
+        std::vector<lp::Entry> row;
+        for (const JobId j : by_class[k]) {
+          if (xv(i, j) != kNoVar) row.push_back({xv(i, j), instance.proc(i, j)});
+        }
+        if (row.empty()) continue;
+        row.push_back({yv(i, k), instance.setup(i, k) - T});
+        model.add_constraint(std::move(row), lp::Sense::kLessEqual, 0.0);
+      }
+    }
+  }
+
+  const lp::Solution sol = lp::solve(model, options.simplex);
+  if (sol.status == lp::SolveStatus::kInfeasible) return std::nullopt;
+  check(sol.optimal(), "assignment LP solve failed (not optimal/infeasible)");
+
+  FractionalAssignment frac{Matrix<double>(m, n, 0.0), Matrix<double>(m, kc, 0.0)};
+  for (MachineId i = 0; i < m; ++i) {
+    for (JobId j = 0; j < n; ++j) {
+      if (xv(i, j) != kNoVar) {
+        frac.x(i, j) = std::clamp(sol.x[xv(i, j)], 0.0, 1.0);
+      }
+    }
+    for (ClassId k = 0; k < kc; ++k) {
+      if (yv(i, k) != kNoVar) {
+        frac.y(i, k) = std::clamp(sol.x[yv(i, k)], 0.0, 1.0);
+      }
+    }
+  }
+  // Guard (4) against roundoff so rounding probabilities stay in [0, 1].
+  for (MachineId i = 0; i < m; ++i) {
+    for (JobId j = 0; j < n; ++j) {
+      const ClassId k = instance.job_class(j);
+      frac.y(i, k) = std::max(frac.y(i, k), frac.x(i, j));
+    }
+  }
+  return frac;
+}
+
+double assignment_lp_floor(const Instance& instance) {
+  double floor1 = 0.0;
+  double sum_min = 0.0;
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    double mn = kInfinity;
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      if (instance.eligible(i, j)) mn = std::min(mn, instance.proc(i, j));
+    }
+    check(mn < kInfinity, "job has no eligible machine");
+    floor1 = std::max(floor1, mn);
+    sum_min += mn;
+  }
+  const double floor2 = sum_min / static_cast<double>(instance.num_machines());
+  return std::max(floor1, floor2);
+}
+
+LpSearchResult search_assignment_lp(const Instance& instance, double precision,
+                                    const AssignmentLpOptions& options) {
+  check(precision > 0.0, "precision must be positive");
+  LpSearchResult out;
+
+  double lo = assignment_lp_floor(instance);
+  double hi = unrelated_upper_bound(instance);
+  check(hi >= lo * 0.999999, "upper bound below LP floor");
+  lo = std::min(lo, hi);
+
+  // The floor value itself might be feasible; test it first so `lo` keeps the
+  // invariant "infeasible or equal to the final feasible T".
+  ++out.lp_solves;
+  if (auto at_lo = solve_assignment_lp(instance, lo, options)) {
+    out.feasible_T = lo;
+    out.lower_bound = lo;
+    out.fractional = std::move(*at_lo);
+    return out;
+  }
+
+  auto best = solve_assignment_lp(instance, hi, options);
+  ++out.lp_solves;
+  check(best.has_value(), "LP infeasible at a feasible schedule's makespan");
+  while (hi / lo > 1.0 + precision) {
+    const double mid = std::sqrt(lo * hi);
+    ++out.lp_solves;
+    if (auto sol = solve_assignment_lp(instance, mid, options)) {
+      hi = mid;
+      best = std::move(sol);
+    } else {
+      lo = mid;
+    }
+  }
+  out.feasible_T = hi;
+  out.lower_bound = lo;
+  out.fractional = std::move(*best);
+  return out;
+}
+
+}  // namespace setsched

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+
+#include "common/matrix.h"
+#include "core/instance.h"
+#include "lp/simplex.h"
+
+namespace setsched {
+
+/// Fractional solution of the assignment LP (the linear relaxation of
+/// ILP-UM, Sec. 3): x(i,j) = fraction of job j on machine i, y(i,k) =
+/// fractional setup of class k on machine i. Satisfies
+///   (1)  Σ_j x_ij p_ij + Σ_k y_ik s_ik <= T          per machine,
+///   (2)  Σ_i x_ij  = 1                               per job,
+///   (4)  y_i,k(j) >= x_ij                            per (i, j),
+///   (5)  x_ij = 0 when p_ij > T or j ineligible on i.
+struct FractionalAssignment {
+  Matrix<double> x;  ///< m x n
+  Matrix<double> y;  ///< m x K
+};
+
+struct AssignmentLpOptions {
+  /// Also add the valid inequalities (8)-(10) from Sec. 3.3.1 (class-level
+  /// packing rows and the p_ij + s_ik <= T / s_ik <= T filters). They hold
+  /// for every instance and strengthen the relaxation; the paper's plain
+  /// ILP-UM omits them, so the default is off.
+  bool strengthen = false;
+  lp::SimplexOptions simplex = {};
+};
+
+/// Solves the relaxation of ILP-UM for makespan guess T. Among feasible
+/// solutions, one minimizing Σ y_ik is returned (y as tight as possible
+/// against constraint (4), which only helps the rounding probabilities).
+/// Returns std::nullopt iff the LP is infeasible, i.e. no schedule of
+/// makespan <= T exists even fractionally.
+[[nodiscard]] std::optional<FractionalAssignment> solve_assignment_lp(
+    const Instance& instance, double T, const AssignmentLpOptions& options = {});
+
+/// Largest T that is trivially LP-infeasible:
+/// max( max_j min_i p_ij , (Σ_j min_i p_ij) / m ). LP(T) feasible => T >= this.
+[[nodiscard]] double assignment_lp_floor(const Instance& instance);
+
+/// Finds (by geometric binary search) a window [lo, hi] with hi/lo <= 1+prec
+/// where LP(hi) is feasible and lo is infeasible-or-floor; returns the
+/// fractional solution at hi. `lo` is a valid lower bound on OPT.
+struct LpSearchResult {
+  double feasible_T = 0.0;    ///< hi: LP feasible here (solution below)
+  double lower_bound = 0.0;   ///< lo: OPT (and the LP optimum) is >= this
+  FractionalAssignment fractional;
+  std::size_t lp_solves = 0;
+};
+[[nodiscard]] LpSearchResult search_assignment_lp(
+    const Instance& instance, double precision = 0.05,
+    const AssignmentLpOptions& options = {});
+
+}  // namespace setsched

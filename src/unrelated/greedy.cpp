@@ -1,0 +1,122 @@
+#include "unrelated/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace setsched {
+
+ScheduleResult greedy_min_load(const Instance& instance) {
+  instance.validate();
+  const std::size_t n = instance.num_jobs();
+  const std::size_t m = instance.num_machines();
+  const std::size_t kc = instance.num_classes();
+
+  std::vector<double> cheapest(n, kInfinity);
+  for (JobId j = 0; j < n; ++j) {
+    for (MachineId i = 0; i < m; ++i) {
+      if (instance.eligible(i, j)) {
+        cheapest[j] = std::min(cheapest[j], instance.proc(i, j));
+      }
+    }
+  }
+  std::vector<JobId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](JobId a, JobId b) { return cheapest[a] > cheapest[b]; });
+
+  std::vector<double> load(m, 0.0);
+  std::vector<char> has_class(m * kc, 0);
+  Schedule schedule = Schedule::empty(n);
+  for (const JobId j : order) {
+    const ClassId k = instance.job_class(j);
+    MachineId best = kUnassigned;
+    double best_load = kInfinity;
+    for (MachineId i = 0; i < m; ++i) {
+      if (!instance.eligible(i, j)) continue;
+      const double setup = has_class[i * kc + k] ? 0.0 : instance.setup(i, k);
+      const double new_load = load[i] + instance.proc(i, j) + setup;
+      if (new_load < best_load) {
+        best_load = new_load;
+        best = i;
+      }
+    }
+    check(best != kUnassigned, "job has no eligible machine");
+    schedule.assignment[j] = best;
+    load[best] = best_load;
+    has_class[best * kc + k] = 1;
+  }
+  return {schedule, makespan(instance, schedule)};
+}
+
+ScheduleResult greedy_class_batch(const Instance& instance) {
+  instance.validate();
+  const std::size_t m = instance.num_machines();
+  const auto by_class = instance.jobs_by_class();
+
+  // Order classes by total cheapest work, heaviest first.
+  std::vector<double> weight(instance.num_classes(), 0.0);
+  for (ClassId k = 0; k < instance.num_classes(); ++k) {
+    for (const JobId j : by_class[k]) {
+      double mn = kInfinity;
+      for (MachineId i = 0; i < m; ++i) {
+        if (instance.eligible(i, j)) mn = std::min(mn, instance.proc(i, j));
+      }
+      weight[k] += mn;
+    }
+  }
+  std::vector<ClassId> order(instance.num_classes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ClassId a, ClassId b) { return weight[a] > weight[b]; });
+
+  std::vector<double> load(m, 0.0);
+  Schedule schedule = Schedule::empty(instance.num_jobs());
+  for (const ClassId k : order) {
+    if (by_class[k].empty()) continue;
+    MachineId best = kUnassigned;
+    double best_load = kInfinity;
+    for (MachineId i = 0; i < m; ++i) {
+      if (instance.setup(i, k) >= kInfinity) continue;
+      double new_load = load[i] + instance.setup(i, k);
+      bool ok = true;
+      for (const JobId j : by_class[k]) {
+        if (!instance.eligible(i, j)) {
+          ok = false;
+          break;
+        }
+        new_load += instance.proc(i, j);
+      }
+      if (ok && new_load < best_load) {
+        best_load = new_load;
+        best = i;
+      }
+    }
+    // A class may not fit on any single machine (eligibility); fall back to
+    // per-job min-load placement for its jobs.
+    if (best == kUnassigned) {
+      for (const JobId j : by_class[k]) {
+        MachineId arg = kUnassigned;
+        double arg_load = kInfinity;
+        for (MachineId i = 0; i < m; ++i) {
+          if (!instance.eligible(i, j)) continue;
+          const double cand = load[i] + instance.proc(i, j) + instance.setup(i, k);
+          if (cand < arg_load) {
+            arg_load = cand;
+            arg = i;
+          }
+        }
+        check(arg != kUnassigned, "job has no eligible machine");
+        schedule.assignment[j] = arg;
+        load[arg] = arg_load;
+      }
+      continue;
+    }
+    for (const JobId j : by_class[k]) schedule.assignment[j] = best;
+    load[best] = best_load;
+  }
+  return {schedule, makespan(instance, schedule)};
+}
+
+}  // namespace setsched

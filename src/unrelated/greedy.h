@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/instance.h"
+#include "core/result.h"
+
+namespace setsched {
+
+/// List-scheduling baseline: jobs sorted by non-increasing cheapest
+/// processing time; each job goes to the machine minimizing the resulting
+/// load (processing + setup if its class is new there). No guarantee on
+/// unrelated machines; standard practical baseline for E3/E4.
+[[nodiscard]] ScheduleResult greedy_min_load(const Instance& instance);
+
+/// Class-batched baseline: whole classes (sorted by non-increasing total
+/// cheapest work) are placed on the machine minimizing the resulting load.
+/// Never splits a class, so it pays exactly one setup per non-empty class.
+[[nodiscard]] ScheduleResult greedy_class_batch(const Instance& instance);
+
+}  // namespace setsched

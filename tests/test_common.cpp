@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace setsched {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(check(true, "ok")); }
+
+TEST(Check, ThrowsWithMessageAndLocation) {
+  try {
+    check(false, "boom");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Prng, NextIntInclusiveRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Prng, NextRealRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.next_real(2.5, 9.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 9.5);
+  }
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Prng, BernoulliFrequency) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Prng, RandomPermutationIsPermutation) {
+  Xoshiro256 rng(23);
+  const auto perm = random_permutation<std::uint32_t>(50, rng);
+  std::set<std::uint32_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(Prng, SplitProducesIndependentStream) {
+  Xoshiro256 parent(31);
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent() == child();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Matrix, StoresValues) {
+  Matrix<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), CheckError);
+  EXPECT_THROW((void)m.at(0, 2), CheckError);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowPointerContiguous) {
+  Matrix<int> m(3, 4);
+  m(1, 0) = 10;
+  m(1, 3) = 13;
+  const int* row = m.row(1);
+  EXPECT_EQ(row[0], 10);
+  EXPECT_EQ(row[3], 13);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
+  const std::vector<double> with_zero{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(with_zero), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesSummary) {
+  Xoshiro256 rng(3);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = rng.next_real(-5, 5);
+  RunningStats rs;
+  for (const double x : v) rs.add(x);
+  const Summary s = summarize(v);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("task failed");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(0, 50, [&](std::size_t) { sum++; });
+  }
+  EXPECT_EQ(sum.load(), 250);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::size_t{1});
+  t.row().add("b").add(2.5, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add("x").add(std::size_t{3});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,3\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), CheckError);
+}
+
+}  // namespace
+}  // namespace setsched

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "core/bounds.h"
+#include "core/instance.h"
+#include "core/io.h"
+#include "core/schedule.h"
+
+namespace setsched {
+namespace {
+
+/// 2 machines, 3 jobs (classes 0,0,1), simple numbers used across tests.
+Instance tiny_instance() {
+  Instance inst(2, 2, {0, 0, 1});
+  // proc: machine 0: 4, 2, 6 ; machine 1: 3, 5, 1
+  inst.set_proc(0, 0, 4);
+  inst.set_proc(0, 1, 2);
+  inst.set_proc(0, 2, 6);
+  inst.set_proc(1, 0, 3);
+  inst.set_proc(1, 1, 5);
+  inst.set_proc(1, 2, 1);
+  // setups: machine 0: s0=1, s1=2 ; machine 1: s0=2, s1=3
+  inst.set_setup(0, 0, 1);
+  inst.set_setup(0, 1, 2);
+  inst.set_setup(1, 0, 2);
+  inst.set_setup(1, 1, 3);
+  return inst;
+}
+
+TEST(Instance, Dimensions) {
+  const Instance inst = tiny_instance();
+  EXPECT_EQ(inst.num_jobs(), 3u);
+  EXPECT_EQ(inst.num_machines(), 2u);
+  EXPECT_EQ(inst.num_classes(), 2u);
+  EXPECT_EQ(inst.job_class(2), 1u);
+}
+
+TEST(Instance, RejectsBadClassId) {
+  EXPECT_THROW(Instance(2, 2, {0, 2}), CheckError);
+}
+
+TEST(Instance, ValidateRejectsNegativeTimes) {
+  Instance inst = tiny_instance();
+  inst.set_proc(0, 0, -1.0);
+  EXPECT_THROW(inst.validate(), CheckError);
+}
+
+TEST(Instance, ValidateRejectsJobWithNoMachine) {
+  Instance inst(2, 1, {0});
+  inst.set_proc(0, 0, kInfinity);
+  inst.set_proc(1, 0, kInfinity);
+  EXPECT_THROW(inst.validate(), CheckError);
+}
+
+TEST(Instance, EligibilityUsesSetupToo) {
+  Instance inst(2, 1, {0});
+  inst.set_proc(0, 0, 1.0);
+  inst.set_proc(1, 0, 1.0);
+  inst.set_setup(0, 0, kInfinity);
+  EXPECT_FALSE(inst.eligible(0, 0));
+  EXPECT_TRUE(inst.eligible(1, 0));
+}
+
+TEST(Instance, JobsByClass) {
+  const Instance inst = tiny_instance();
+  const auto groups = inst.jobs_by_class();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<JobId>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<JobId>{2}));
+}
+
+TEST(Schedule, LoadsIncludeOneSetupPerClass) {
+  const Instance inst = tiny_instance();
+  Schedule s{{0, 0, 1}};
+  const auto loads = machine_loads(inst, s);
+  // machine 0: jobs 0,1 (class 0): 4 + 2 + setup 1 = 7
+  EXPECT_DOUBLE_EQ(loads[0], 7.0);
+  // machine 1: job 2 (class 1): 1 + setup 3 = 4
+  EXPECT_DOUBLE_EQ(loads[1], 4.0);
+  EXPECT_DOUBLE_EQ(makespan(inst, s), 7.0);
+}
+
+TEST(Schedule, SetupPaidOncePerClassPerMachine) {
+  Instance inst(1, 1, {0, 0, 0});
+  inst.set_proc(0, 0, 1);
+  inst.set_proc(0, 1, 1);
+  inst.set_proc(0, 2, 1);
+  inst.set_setup(0, 0, 10);
+  const Schedule s{{0, 0, 0}};
+  EXPECT_DOUBLE_EQ(makespan(inst, s), 13.0);  // 3 + one setup of 10
+}
+
+TEST(Schedule, SetupPaidPerMachine) {
+  Instance inst(2, 1, {0, 0});
+  inst.set_proc(0, 0, 1);
+  inst.set_proc(0, 1, 1);
+  inst.set_proc(1, 0, 1);
+  inst.set_proc(1, 1, 1);
+  inst.set_setup(0, 0, 10);
+  inst.set_setup(1, 0, 10);
+  const Schedule split{{0, 1}};
+  const auto loads = machine_loads(inst, split);
+  EXPECT_DOUBLE_EQ(loads[0], 11.0);
+  EXPECT_DOUBLE_EQ(loads[1], 11.0);
+  EXPECT_EQ(total_setups(inst, split), 2u);
+}
+
+TEST(Schedule, UnassignedJobsIgnoredInLoads) {
+  const Instance inst = tiny_instance();
+  Schedule s = Schedule::empty(3);
+  s.assignment[0] = 0;
+  const auto loads = machine_loads(inst, s);
+  EXPECT_DOUBLE_EQ(loads[0], 5.0);  // 4 + setup 1
+  EXPECT_DOUBLE_EQ(loads[1], 0.0);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Schedule, ErrorOnUnassigned) {
+  const Instance inst = tiny_instance();
+  const Schedule s = Schedule::empty(3);
+  const auto err = schedule_error(inst, s);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unassigned"), std::string::npos);
+}
+
+TEST(Schedule, ErrorOnIneligible) {
+  Instance inst(2, 1, {0});
+  inst.set_proc(0, 0, kInfinity);
+  inst.set_proc(1, 0, 1.0);
+  const Schedule s{{0}};
+  const auto err = schedule_error(inst, s);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("ineligible"), std::string::npos);
+}
+
+TEST(Schedule, ValidScheduleHasNoError) {
+  const Instance inst = tiny_instance();
+  const Schedule s{{1, 0, 1}};
+  EXPECT_FALSE(schedule_error(inst, s).has_value());
+}
+
+TEST(Schedule, ClassesPerMachine) {
+  const Instance inst = tiny_instance();
+  const Schedule s{{0, 0, 0}};
+  const auto cpm = classes_per_machine(inst, s);
+  EXPECT_EQ(cpm[0], (std::vector<ClassId>{0, 1}));
+  EXPECT_TRUE(cpm[1].empty());
+}
+
+TEST(UniformInstance, ToUnrelatedDividesBySpeed) {
+  UniformInstance u;
+  u.job_size = {6, 9};
+  u.job_class = {0, 1};
+  u.setup_size = {3, 6};
+  u.speed = {1, 3};
+  const Instance inst = u.to_unrelated();
+  EXPECT_DOUBLE_EQ(inst.proc(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(inst.proc(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(inst.setup(1, 1), 2.0);
+}
+
+TEST(UniformInstance, LoadsMatchUnrelatedConversion) {
+  UniformInstance u;
+  u.job_size = {6, 9, 4};
+  u.job_class = {0, 1, 0};
+  u.setup_size = {3, 6};
+  u.speed = {1, 2};
+  const Schedule s{{0, 1, 1}};
+  const auto direct = machine_loads(u, s);
+  const auto converted = machine_loads(u.to_unrelated(), s);
+  ASSERT_EQ(direct.size(), converted.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], converted[i], 1e-12);
+  }
+}
+
+TEST(UniformInstance, ValidateRejectsZeroSpeed) {
+  UniformInstance u;
+  u.job_size = {1};
+  u.job_class = {0};
+  u.setup_size = {1};
+  u.speed = {0.0};
+  EXPECT_THROW(u.validate(), CheckError);
+}
+
+TEST(SpecialCases, DetectsRestrictedClassUniform) {
+  Instance inst(2, 1, {0, 0});
+  inst.set_proc(0, 0, 5);
+  inst.set_proc(0, 1, 7);
+  inst.set_proc(1, 0, kInfinity);
+  inst.set_proc(1, 1, kInfinity);
+  inst.set_setup(0, 0, 2);
+  inst.set_setup(1, 0, kInfinity);
+  EXPECT_TRUE(is_restricted_class_uniform(inst));
+}
+
+TEST(SpecialCases, RejectsMachineDependentTimes) {
+  Instance inst(2, 1, {0});
+  inst.set_proc(0, 0, 5);
+  inst.set_proc(1, 0, 6);  // differs on eligible machines
+  inst.set_setup(0, 0, 2);
+  inst.set_setup(1, 0, 2);
+  EXPECT_FALSE(is_restricted_class_uniform(inst));
+}
+
+TEST(SpecialCases, DetectsClassUniformProcessing) {
+  Instance inst(2, 2, {0, 0, 1});
+  for (MachineId i = 0; i < 2; ++i) {
+    inst.set_proc(i, 0, 3.0 + i);
+    inst.set_proc(i, 1, 3.0 + i);  // same class -> same time per machine
+    inst.set_proc(i, 2, 8.0 - i);
+    inst.set_setup(i, 0, 1);
+    inst.set_setup(i, 1, 1);
+  }
+  EXPECT_TRUE(is_class_uniform_processing(inst));
+  inst.set_proc(0, 1, 99.0);
+  EXPECT_FALSE(is_class_uniform_processing(inst));
+}
+
+TEST(Bounds, UniformLowerBound) {
+  UniformInstance u;
+  u.job_size = {6, 9};
+  u.job_class = {0, 0};
+  u.setup_size = {3};
+  u.speed = {1, 2};
+  // total work 6+9+3 = 18, total speed 3 -> 6 ; single job (9+3)/2 = 6
+  EXPECT_DOUBLE_EQ(uniform_lower_bound(u), 6.0);
+}
+
+TEST(Bounds, UnrelatedBoundsBracket) {
+  const Instance inst = tiny_instance();
+  const double lo = unrelated_lower_bound(inst);
+  const double hi = unrelated_upper_bound(inst);
+  EXPECT_LE(lo, hi);
+  EXPECT_GT(lo, 0.0);
+  const Schedule best = best_machine_schedule(inst);
+  EXPECT_FALSE(schedule_error(inst, best).has_value());
+}
+
+TEST(Io, UnrelatedRoundTrip) {
+  const Instance inst = tiny_instance();
+  std::stringstream ss;
+  save_instance(ss, inst);
+  const Instance back = load_instance(ss);
+  EXPECT_EQ(inst, back);
+}
+
+TEST(Io, UnrelatedRoundTripWithInfinity) {
+  Instance inst(2, 1, {0});
+  inst.set_proc(0, 0, 1.5);
+  inst.set_proc(1, 0, kInfinity);
+  inst.set_setup(0, 0, 2.0);
+  inst.set_setup(1, 0, kInfinity);
+  std::stringstream ss;
+  save_instance(ss, inst);
+  const Instance back = load_instance(ss);
+  EXPECT_EQ(inst, back);
+}
+
+TEST(Io, UniformRoundTrip) {
+  UniformInstance u;
+  u.job_size = {6, 9, 4};
+  u.job_class = {0, 1, 0};
+  u.setup_size = {3, 6};
+  u.speed = {1, 2.5};
+  std::stringstream ss;
+  save_uniform(ss, u);
+  const UniformInstance back = load_uniform(ss);
+  EXPECT_EQ(u, back);
+}
+
+TEST(Io, RejectsWrongKind) {
+  UniformInstance u;
+  u.job_size = {1};
+  u.job_class = {0};
+  u.setup_size = {1};
+  u.speed = {1};
+  std::stringstream ss;
+  save_uniform(ss, u);
+  EXPECT_THROW((void)load_instance(ss), CheckError);
+}
+
+TEST(Io, DescribeMentionsDimensions) {
+  const std::string text = describe(tiny_instance());
+  EXPECT_NE(text.find("3 jobs"), std::string::npos);
+  EXPECT_NE(text.find("2 machines"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace setsched

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "exact/branch_bound.h"
+
+namespace setsched {
+namespace {
+
+TEST(Exact, SingleJobSingleMachine) {
+  Instance inst(1, 1, {0});
+  inst.set_proc(0, 0, 5);
+  inst.set_setup(0, 0, 3);
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+}
+
+TEST(Exact, PrefersSplittingAcrossMachines) {
+  // Two identical machines, two independent classes: split is optimal.
+  Instance inst(2, 2, {0, 1});
+  for (MachineId i = 0; i < 2; ++i) {
+    inst.set_proc(i, 0, 4);
+    inst.set_proc(i, 1, 4);
+    inst.set_setup(i, 0, 1);
+    inst.set_setup(i, 1, 1);
+  }
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_NE(r.schedule.assignment[0], r.schedule.assignment[1]);
+}
+
+TEST(Exact, BatchingBeatsSplittingWithHugeSetups) {
+  // Class 0 has a huge setup and two jobs; class 1 occupies the other
+  // machine. Splitting class 0 would pay the 100-setup twice on top of the
+  // class-1 work: batching it on one machine is optimal (makespan 104).
+  Instance inst(2, 2, {0, 0, 1});
+  for (MachineId i = 0; i < 2; ++i) {
+    inst.set_proc(i, 0, 2);
+    inst.set_proc(i, 1, 2);
+    inst.set_proc(i, 2, 50);
+    inst.set_setup(i, 0, 100);
+    inst.set_setup(i, 1, 1);
+  }
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, 104.0);
+  EXPECT_EQ(r.schedule.assignment[0], r.schedule.assignment[1]);
+  EXPECT_NE(r.schedule.assignment[2], r.schedule.assignment[0]);
+}
+
+TEST(Exact, RespectsEligibility) {
+  Instance inst(2, 1, {0, 0});
+  inst.set_proc(0, 0, 1);
+  inst.set_proc(1, 0, kInfinity);
+  inst.set_proc(0, 1, kInfinity);
+  inst.set_proc(1, 1, 1);
+  inst.set_setup(0, 0, 1);
+  inst.set_setup(1, 0, 1);
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.schedule.assignment[0], 0u);
+  EXPECT_EQ(r.schedule.assignment[1], 1u);
+}
+
+TEST(Exact, HonorsInitialUpperBound) {
+  Instance inst(1, 1, {0, 0});
+  inst.set_proc(0, 0, 2);
+  inst.set_proc(0, 1, 3);
+  inst.set_setup(0, 0, 1);
+  ExactOptions opt;
+  opt.initial_upper_bound = 6.0;  // exactly optimal; must still find it
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(Exact, UniformOverloadMatchesUnrelated) {
+  UniformGenParams p;
+  p.num_jobs = 8;
+  p.num_machines = 3;
+  p.num_classes = 2;
+  const UniformInstance u = generate_uniform(p, 77);
+  const ExactResult a = solve_exact(u);
+  const ExactResult b = solve_exact(u.to_unrelated());
+  EXPECT_TRUE(a.proven_optimal);
+  EXPECT_NEAR(a.makespan, b.makespan, 1e-9);
+}
+
+TEST(Exact, NodeBudgetAborts) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 5);
+  ExactOptions opt;
+  opt.max_nodes = 10;
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_FALSE(r.proven_optimal);
+  // Still returns a feasible schedule (the greedy incumbent).
+  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+}
+
+/// Reference: plain exhaustive enumeration, no pruning.
+double enumerate_opt(const Instance& inst) {
+  const std::size_t n = inst.num_jobs();
+  const std::size_t m = inst.num_machines();
+  Schedule s = Schedule::empty(n);
+  double best = kInfinity;
+  std::vector<std::size_t> stack(n, 0);
+  const auto recurse = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == n) {
+      if (!schedule_error(inst, s).has_value()) {
+        best = std::min(best, makespan(inst, s));
+      }
+      return;
+    }
+    for (MachineId i = 0; i < m; ++i) {
+      if (!inst.eligible(i, depth)) continue;
+      s.assignment[depth] = i;
+      self(self, depth + 1);
+      s.assignment[depth] = kUnassigned;
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+class ExactRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactRandomTest, MatchesExhaustiveEnumeration) {
+  UnrelatedGenParams p;
+  p.num_jobs = 7;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  p.eligibility = 0.8;
+  const Instance inst = generate_unrelated(p, GetParam());
+  const double reference = enumerate_opt(inst);
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NEAR(r.makespan, reference, 1e-9) << "seed " << GetParam();
+  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+  EXPECT_NEAR(makespan(inst, r.schedule), r.makespan, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+class ExactUniformRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactUniformRandomTest, OptimalAtLeastLowerBound) {
+  UniformGenParams p;
+  p.num_jobs = 10;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  const UniformInstance u = generate_uniform(p, GetParam() + 500);
+  const ExactResult r = solve_exact(u);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_GE(r.makespan + 1e-9, uniform_lower_bound(u)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactUniformRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(Exact, SymmetryBreakingStillOptimal) {
+  // 4 identical machines: symmetry breaking must not lose the optimum.
+  UniformGenParams p;
+  p.num_jobs = 9;
+  p.num_machines = 4;
+  p.num_classes = 2;
+  p.profile = SpeedProfile::kIdentical;
+  const UniformInstance u = generate_uniform(p, 31);
+  const Instance inst = u.to_unrelated();
+  const double reference = enumerate_opt(inst);
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NEAR(r.makespan, reference, 1e-9);
+}
+
+}  // namespace
+}  // namespace setsched

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.h"
+#include "core/schedule.h"
+
+namespace setsched {
+namespace {
+
+TEST(GenerateUniform, Deterministic) {
+  UniformGenParams p;
+  const auto a = generate_uniform(p, 123);
+  const auto b = generate_uniform(p, 123);
+  EXPECT_EQ(a, b);
+  const auto c = generate_uniform(p, 124);
+  EXPECT_NE(a, c);
+}
+
+TEST(GenerateUniform, RespectsRanges) {
+  UniformGenParams p;
+  p.num_jobs = 200;
+  p.min_job_size = 5;
+  p.max_job_size = 10;
+  p.min_setup = 2;
+  p.max_setup = 4;
+  const auto inst = generate_uniform(p, 7);
+  for (const double s : inst.job_size) {
+    EXPECT_GE(s, 5.0);
+    EXPECT_LE(s, 10.0);
+    EXPECT_DOUBLE_EQ(s, std::round(s));
+  }
+  for (const double s : inst.setup_size) {
+    EXPECT_GE(s, 2.0);
+    EXPECT_LE(s, 4.0);
+  }
+}
+
+TEST(GenerateUniform, SpeedProfiles) {
+  UniformGenParams p;
+  p.num_machines = 6;
+  p.max_speed_ratio = 9.0;
+
+  p.profile = SpeedProfile::kIdentical;
+  for (const double v : generate_uniform(p, 1).speed) EXPECT_DOUBLE_EQ(v, 1.0);
+
+  p.profile = SpeedProfile::kGeometric;
+  const auto geo = generate_uniform(p, 1).speed;
+  EXPECT_DOUBLE_EQ(geo.front(), 1.0);
+  EXPECT_NEAR(geo.back(), 9.0, 1e-9);
+  for (std::size_t i = 1; i < geo.size(); ++i) EXPECT_GT(geo[i], geo[i - 1]);
+
+  p.profile = SpeedProfile::kTwoTier;
+  const auto two = generate_uniform(p, 1).speed;
+  EXPECT_DOUBLE_EQ(two.front(), 1.0);
+  EXPECT_DOUBLE_EQ(two.back(), 9.0);
+}
+
+TEST(GenerateUnrelated, ValidAndDeterministic) {
+  UnrelatedGenParams p;
+  p.num_jobs = 30;
+  p.num_machines = 5;
+  p.num_classes = 4;
+  const auto a = generate_unrelated(p, 9);
+  const auto b = generate_unrelated(p, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(GenerateUnrelated, PartialEligibilityKeepsJobsSchedulable) {
+  UnrelatedGenParams p;
+  p.num_jobs = 60;
+  p.num_machines = 6;
+  p.eligibility = 0.25;
+  const auto inst = generate_unrelated(p, 21);
+  EXPECT_NO_THROW(inst.validate());
+  bool some_ineligible = false;
+  for (MachineId i = 0; i < inst.num_machines() && !some_ineligible; ++i) {
+    for (JobId j = 0; j < inst.num_jobs() && !some_ineligible; ++j) {
+      some_ineligible = !inst.eligible(i, j);
+    }
+  }
+  EXPECT_TRUE(some_ineligible);
+}
+
+TEST(GeneratePlanted, PlantedScheduleIsFeasible) {
+  PlantedGenParams p;
+  p.num_jobs = 50;
+  p.num_machines = 5;
+  p.num_classes = 10;
+  const auto planted = generate_planted_unrelated(p, 3);
+  EXPECT_FALSE(schedule_error(planted.instance, planted.planted).has_value());
+  EXPECT_DOUBLE_EQ(planted.planted_makespan,
+                   makespan(planted.instance, planted.planted));
+  EXPECT_GT(planted.planted_makespan, 0.0);
+}
+
+TEST(GeneratePlanted, OffPlanTimesNotCheaper) {
+  PlantedGenParams p;
+  p.num_jobs = 40;
+  p.num_machines = 4;
+  const auto planted = generate_planted_unrelated(p, 5);
+  for (JobId j = 0; j < planted.instance.num_jobs(); ++j) {
+    const MachineId home = planted.planted.assignment[j];
+    for (MachineId i = 0; i < planted.instance.num_machines(); ++i) {
+      EXPECT_GE(planted.instance.proc(i, j) + 1e-9,
+                planted.instance.proc(home, j));
+    }
+  }
+}
+
+TEST(GenerateRestricted, IsClassUniform) {
+  RestrictedGenParams p;
+  p.num_jobs = 40;
+  p.num_machines = 6;
+  p.num_classes = 5;
+  p.min_eligible = 2;
+  p.max_eligible = 4;
+  const auto inst = generate_restricted_class_uniform(p, 11);
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_TRUE(is_restricted_class_uniform(inst));
+}
+
+TEST(GenerateRestricted, EligibleSetSizesInRange) {
+  RestrictedGenParams p;
+  p.num_machines = 8;
+  p.min_eligible = 3;
+  p.max_eligible = 3;
+  const auto inst = generate_restricted_class_uniform(p, 13);
+  for (ClassId k = 0; k < inst.num_classes(); ++k) {
+    std::size_t eligible = 0;
+    for (MachineId i = 0; i < inst.num_machines(); ++i) {
+      eligible += inst.setup(i, k) < kInfinity;
+    }
+    EXPECT_EQ(eligible, 3u);
+  }
+}
+
+TEST(GenerateClassUniform, IsClassUniformProcessing) {
+  ClassUniformGenParams p;
+  p.num_jobs = 40;
+  p.num_machines = 5;
+  p.num_classes = 6;
+  const auto inst = generate_class_uniform_processing(p, 17);
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_TRUE(is_class_uniform_processing(inst));
+}
+
+TEST(Generators, AllClassesInRange) {
+  UniformGenParams p;
+  p.num_jobs = 100;
+  p.num_classes = 3;
+  const auto inst = generate_uniform(p, 19);
+  for (const ClassId k : inst.job_class) EXPECT_LT(k, 3u);
+}
+
+}  // namespace
+}  // namespace setsched

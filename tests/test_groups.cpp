@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "uniform/groups.h"
+
+namespace setsched {
+namespace {
+
+TEST(Groups, EpsilonFlooring) {
+  EXPECT_DOUBLE_EQ(floor_epsilon_to_power_of_two(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(floor_epsilon_to_power_of_two(0.4), 0.25);
+  EXPECT_DOUBLE_EQ(floor_epsilon_to_power_of_two(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(floor_epsilon_to_power_of_two(0.1), 0.0625);
+  EXPECT_DOUBLE_EQ(floor_epsilon_to_power_of_two(1.0), 0.5);
+}
+
+TEST(Groups, BoundariesArePowersOfGammaOverVmin) {
+  const GroupStructure g(0.5, 2.0, 10.0);  // gamma = 1/8
+  EXPECT_DOUBLE_EQ(g.gamma(), 0.125);
+  EXPECT_DOUBLE_EQ(g.delta(), 0.25);
+  EXPECT_DOUBLE_EQ(g.lower_boundary(1), 2.0);        // vmin
+  EXPECT_DOUBLE_EQ(g.lower_boundary(2), 16.0);       // vmin / gamma
+  EXPECT_DOUBLE_EQ(g.lower_boundary(0), 0.25);       // vmin * gamma
+}
+
+TEST(Groups, LowerIndexConsistentWithBoundaries) {
+  const GroupStructure g(0.5, 1.0, 1.0);  // gamma = 1/8, vmin = 1
+  EXPECT_EQ(g.lower_index(1.0), 1);    // exactly vmin
+  EXPECT_EQ(g.lower_index(7.9), 1);    // below 8
+  EXPECT_EQ(g.lower_index(8.0), 2);    // boundary belongs to the next group
+  EXPECT_EQ(g.lower_index(63.9), 2);
+  EXPECT_EQ(g.lower_index(64.0), 3);
+  EXPECT_EQ(g.lower_index(0.99), 0);
+  EXPECT_EQ(g.lower_index(0.124), -1);  // below vmin * gamma
+}
+
+TEST(Groups, EverySpeedInExactlyTwoGroups) {
+  const GroupStructure g(0.25, 1.0, 1.0);
+  for (const double v : {1.0, 3.7, 64.0, 1000.0, 123456.0}) {
+    int member = 0;
+    for (int grp = -5; grp < 20; ++grp) {
+      member += g.machine_in_group(v, grp);
+    }
+    EXPECT_EQ(member, 2) << "speed " << v;
+  }
+}
+
+TEST(Groups, FringeCoreClassification) {
+  const GroupStructure g(0.5, 1.0, 1.0);  // delta = 1/4
+  const double setup = 8.0;
+  EXPECT_TRUE(g.is_fringe_job(32.0, setup));   // >= s/delta = 32
+  EXPECT_FALSE(g.is_fringe_job(31.0, setup));  // core (if >= eps*s)
+}
+
+TEST(Groups, SmallBigHugePartitionSizes) {
+  const GroupStructure g(0.5, 1.0, 10.0);
+  const double v = 2.0;  // capacity vT = 20, eps*v*T = 10
+  EXPECT_TRUE(g.small_for(9.9, v));
+  EXPECT_TRUE(g.big_for(10.0, v));
+  EXPECT_TRUE(g.big_for(20.0, v));
+  EXPECT_TRUE(g.huge_for(20.1, v));
+  for (const double size : {0.1, 5.0, 10.0, 15.0, 20.0, 25.0}) {
+    const int classification =
+        g.small_for(size, v) + g.big_for(size, v) + g.huge_for(size, v);
+    EXPECT_EQ(classification, 1) << "size " << size;
+  }
+}
+
+TEST(Groups, NativeGroupContainsAllBigSpeeds) {
+  // Remark-2.7-style property: for every job size, all speeds for which the
+  // job is big lie inside the native group's range [lower, upper).
+  const double eps = 0.25;
+  const GroupStructure g(eps, 1.0, 4.0);
+  for (const double p : {0.5, 1.0, 3.0, 17.0, 260.0}) {
+    const int native = g.native_group(p);
+    // Speeds with eps*v*T <= p <= v*T:  v in [p/T, p/(eps T)].
+    const double v_lo = p / g.T();
+    const double v_hi = p / (eps * g.T());
+    EXPECT_GE(v_lo, g.lower_boundary(native)) << p;
+    EXPECT_LT(v_hi, g.lower_boundary(native + 2)) << p;  // < v̂_native
+  }
+}
+
+TEST(Groups, CoreGroupContainsCoreMachineSpeeds) {
+  const double eps = 0.25;
+  const GroupStructure g(eps, 1.0, 4.0);
+  const double gamma = eps * eps * eps;
+  for (const double s : {0.7, 2.0, 9.0, 200.0}) {
+    const int core = g.core_group(s);
+    // Core machine speeds: s <= T v < s / gamma.
+    const double v_lo = s / g.T();
+    const double v_hi = s / (gamma * g.T());
+    EXPECT_GE(v_lo, g.lower_boundary(core)) << s;
+    EXPECT_LE(v_hi, g.lower_boundary(core + 2)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace setsched

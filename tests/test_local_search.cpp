@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "exact/branch_bound.h"
+#include "improve/local_search.h"
+#include "unrelated/greedy.h"
+
+namespace setsched {
+namespace {
+
+TEST(LocalSearch, NeverWorsens) {
+  UnrelatedGenParams p;
+  p.num_jobs = 24;
+  p.num_machines = 4;
+  p.num_classes = 4;
+  const Instance inst = generate_unrelated(p, 1);
+  const ScheduleResult start = greedy_class_batch(inst);
+  const LocalSearchResult r = local_search(inst, start.schedule);
+  EXPECT_LE(r.makespan, start.makespan + 1e-9);
+  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+}
+
+TEST(LocalSearch, FixesObviouslyBadSchedule) {
+  // Everything dumped on machine 0; moves must spread the load.
+  UnrelatedGenParams p;
+  p.num_jobs = 16;
+  p.num_machines = 4;
+  p.num_classes = 2;
+  const Instance inst = generate_unrelated(p, 2);
+  Schedule bad{std::vector<MachineId>(16, 0)};
+  const double before = makespan(inst, bad);
+  const LocalSearchResult r = local_search(inst, bad);
+  EXPECT_LT(r.makespan, before);
+  EXPECT_GT(r.moves_applied, 0u);
+}
+
+TEST(LocalSearch, RespectsEligibility) {
+  UnrelatedGenParams p;
+  p.num_jobs = 20;
+  p.num_machines = 5;
+  p.num_classes = 3;
+  p.eligibility = 0.5;
+  const Instance inst = generate_unrelated(p, 3);
+  const ScheduleResult start = greedy_min_load(inst);
+  const LocalSearchResult r = local_search(inst, start.schedule);
+  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+}
+
+TEST(LocalSearch, ReachesOptimumOnEasyInstance) {
+  // 4 equal jobs, 2 identical machines, independent classes: OPT splits 2/2.
+  Instance inst(2, 4, {0, 1, 2, 3});
+  for (MachineId i = 0; i < 2; ++i) {
+    for (JobId j = 0; j < 4; ++j) inst.set_proc(i, j, 5);
+    for (ClassId k = 0; k < 4; ++k) inst.set_setup(i, k, 1);
+  }
+  Schedule bad{{0, 0, 0, 0}};
+  const LocalSearchResult r = local_search(inst, bad);
+  EXPECT_DOUBLE_EQ(r.makespan, 12.0);  // 2 jobs + 2 setups per machine
+}
+
+TEST(LocalSearch, SwapEscapesMovePlateaus) {
+  // Two machines; loads (10+2, 10+2) achievable only by exchanging jobs.
+  Instance inst(2, 1, {0, 0, 0, 0});
+  inst.set_setup(0, 0, 0);
+  inst.set_setup(1, 0, 0);
+  // sizes 10, 2 on one machine and 6, 6 on the other -> swap balances.
+  const double sizes[] = {10, 2, 6, 6};
+  for (JobId j = 0; j < 4; ++j) {
+    inst.set_proc(0, j, sizes[j]);
+    inst.set_proc(1, j, sizes[j]);
+  }
+  Schedule start{{0, 0, 1, 1}};
+  const LocalSearchResult r = local_search(inst, start);
+  EXPECT_DOUBLE_EQ(r.makespan, 12.0);
+}
+
+class LocalSearchQualityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchQualityTest, WithinFactorTwoOfExactOnSmall) {
+  UnrelatedGenParams p;
+  p.num_jobs = 10;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  const Instance inst = generate_unrelated(p, GetParam() + 60);
+  const ExactResult opt = solve_exact(inst);
+  ASSERT_TRUE(opt.proven_optimal);
+  const ScheduleResult start = greedy_min_load(inst);
+  const LocalSearchResult r = local_search(inst, start.schedule);
+  EXPECT_LE(r.makespan, 2.0 * opt.makespan + 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchQualityTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(LocalSearch, RejectsIncompleteSchedule) {
+  UnrelatedGenParams p;
+  const Instance inst = generate_unrelated(p, 5);
+  const Schedule incomplete = Schedule::empty(inst.num_jobs());
+  EXPECT_THROW((void)local_search(inst, incomplete), CheckError);
+}
+
+}  // namespace
+}  // namespace setsched

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "restricted/pseudoforest.h"
+
+namespace setsched {
+namespace {
+
+/// Verifies the two Lemma 3.8 properties plus bookkeeping consistency.
+void expect_lemma38(const Matrix<double>& xbar, const EdgeSelection& sel,
+                    double eps = 1e-7) {
+  const std::size_t m = xbar.rows();
+  const std::size_t kc = xbar.cols();
+
+  // (1) each machine keeps at most one E-tilde edge.
+  std::vector<int> machine_count(m, 0);
+  for (ClassId k = 0; k < kc; ++k) {
+    for (const MachineId i : sel.plus_machines[k]) {
+      ++machine_count[i];
+      EXPECT_GT(xbar(i, k), eps) << "E-tilde edge without share";
+    }
+  }
+  for (MachineId i = 0; i < m; ++i) EXPECT_LE(machine_count[i], 1);
+
+  // (2) per class: at most one positive share outside E-tilde.
+  for (ClassId k = 0; k < kc; ++k) {
+    std::size_t positives = 0;
+    for (MachineId i = 0; i < m; ++i) positives += xbar(i, k) > eps;
+    if (positives < 2) {
+      EXPECT_TRUE(sel.plus_machines[k].empty());
+      EXPECT_FALSE(sel.minus_machine[k].has_value());
+      continue;
+    }
+    std::size_t lost = 0;
+    for (MachineId i = 0; i < m; ++i) {
+      if (xbar(i, k) <= eps) continue;
+      const bool kept =
+          std::find(sel.plus_machines[k].begin(), sel.plus_machines[k].end(),
+                    i) != sel.plus_machines[k].end();
+      if (!kept) {
+        ++lost;
+        ASSERT_TRUE(sel.minus_machine[k].has_value());
+        EXPECT_EQ(*sel.minus_machine[k], i);
+      }
+    }
+    EXPECT_LE(lost, 1u) << "class " << k;
+    EXPECT_EQ(lost == 1, sel.minus_machine[k].has_value());
+    EXPECT_GE(sel.plus_machines[k].size(), 1u) << "fractional class needs i+";
+  }
+}
+
+TEST(Pseudoforest, SingleFractionalPairIsIntegralPerClass) {
+  // One class split over two machines: path k - {i0, i1}.
+  Matrix<double> xbar(2, 1, 0.0);
+  xbar(0, 0) = 0.5;
+  xbar(1, 0) = 0.5;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  // Tree rooted at the class: both machines are children -> both kept.
+  EXPECT_EQ(sel.plus_machines[0].size(), 2u);
+  EXPECT_FALSE(sel.minus_machine[0].has_value());
+}
+
+TEST(Pseudoforest, IntegralClassesSkipped) {
+  Matrix<double> xbar(3, 2, 0.0);
+  xbar(1, 0) = 1.0;  // class 0 integral on machine 1
+  xbar(0, 1) = 0.3;  // class 1 fractional over machines 0 and 2
+  xbar(2, 1) = 0.7;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  EXPECT_TRUE(sel.plus_machines[0].empty());
+  EXPECT_EQ(sel.plus_machines[1].size(), 2u);
+}
+
+TEST(Pseudoforest, PathOfTwoClassesSharingAMachine) {
+  // k0 on {i0, i1}, k1 on {i1, i2}: path; machine i1 can keep only one edge.
+  Matrix<double> xbar(3, 2, 0.0);
+  xbar(0, 0) = 0.4;
+  xbar(1, 0) = 0.6;
+  xbar(1, 1) = 0.5;
+  xbar(2, 1) = 0.5;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  const std::size_t total_kept =
+      sel.plus_machines[0].size() + sel.plus_machines[1].size();
+  // 4 fractional edges, machine i1 keeps one of its two: 3 kept, 1 lost.
+  EXPECT_EQ(total_kept, 3u);
+  const bool k0_lost = sel.minus_machine[0].has_value();
+  const bool k1_lost = sel.minus_machine[1].has_value();
+  EXPECT_TRUE(k0_lost != k1_lost);  // exactly one class loses the shared edge
+}
+
+TEST(Pseudoforest, FourCycle) {
+  // k0 on {i0, i1}, k1 on {i0, i1}: the 4-cycle k0-i0-k1-i1-k0.
+  Matrix<double> xbar(2, 2, 0.0);
+  xbar(0, 0) = 0.5;
+  xbar(1, 0) = 0.5;
+  xbar(0, 1) = 0.5;
+  xbar(1, 1) = 0.5;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  // Cycle removal drops one edge per class; rooting keeps the rest.
+  EXPECT_TRUE(sel.minus_machine[0].has_value());
+  EXPECT_TRUE(sel.minus_machine[1].has_value());
+  EXPECT_EQ(sel.plus_machines[0].size(), 1u);
+  EXPECT_EQ(sel.plus_machines[1].size(), 1u);
+  // The two classes keep different machines.
+  EXPECT_NE(sel.plus_machines[0][0], sel.plus_machines[1][0]);
+}
+
+TEST(Pseudoforest, CycleWithHangingTree) {
+  // 4-cycle (k0, k1 on i0, i1); k1 also fractional on i2 and i3 (hanging
+  // machines), and k2 hangs off i2 with a private machine i4:
+  // 8 nodes, 8 edges, exactly one cycle.
+  Matrix<double> xbar(5, 3, 0.0);
+  xbar(0, 0) = 0.5;
+  xbar(1, 0) = 0.5;
+  xbar(0, 1) = 0.25;
+  xbar(1, 1) = 0.25;
+  xbar(2, 1) = 0.25;
+  xbar(3, 1) = 0.25;
+  xbar(2, 2) = 0.5;
+  xbar(4, 2) = 0.5;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  // The cycle classes k0 and k1 each lose exactly one cycle edge; the
+  // hanging class k2 loses at most its parent edge toward the cycle.
+  EXPECT_TRUE(sel.minus_machine[0].has_value());
+  EXPECT_TRUE(sel.minus_machine[1].has_value());
+}
+
+TEST(Pseudoforest, MultipleComponents) {
+  // Two independent fractional classes on disjoint machine pairs.
+  Matrix<double> xbar(4, 2, 0.0);
+  xbar(0, 0) = 0.5;
+  xbar(1, 0) = 0.5;
+  xbar(2, 1) = 0.5;
+  xbar(3, 1) = 0.5;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  EXPECT_EQ(sel.plus_machines[0].size(), 2u);
+  EXPECT_EQ(sel.plus_machines[1].size(), 2u);
+}
+
+TEST(Pseudoforest, StarOfClassesAroundOneMachine) {
+  // Three classes all sharing machine i0 (plus private machines): tree.
+  Matrix<double> xbar(4, 3, 0.0);
+  for (ClassId k = 0; k < 3; ++k) {
+    xbar(0, k) = 0.3;
+    xbar(k + 1, k) = 0.7;
+  }
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  // Machine 0 keeps exactly one of its three edges; two classes lose one.
+  std::size_t losses = 0;
+  for (ClassId k = 0; k < 3; ++k) losses += sel.minus_machine[k].has_value();
+  EXPECT_EQ(losses, 2u);
+}
+
+TEST(Pseudoforest, RejectsNonPseudoforest) {
+  // 3 classes fully spread over 2 machines: K3,2-ish support has more edges
+  // than nodes in one component (6 edges, 5 nodes) -> not a pseudoforest.
+  Matrix<double> xbar(2, 3, 0.0);
+  for (ClassId k = 0; k < 3; ++k) {
+    xbar(0, k) = 0.5;
+    xbar(1, k) = 0.5;
+  }
+  EXPECT_THROW((void)select_pseudoforest_edges(xbar), CheckError);
+}
+
+TEST(Pseudoforest, AllIntegralNoEdges) {
+  Matrix<double> xbar(3, 3, 0.0);
+  xbar(0, 0) = 1.0;
+  xbar(1, 1) = 1.0;
+  xbar(1, 2) = 1.0;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  for (ClassId k = 0; k < 3; ++k) {
+    EXPECT_TRUE(sel.plus_machines[k].empty());
+    EXPECT_FALSE(sel.minus_machine[k].has_value());
+  }
+}
+
+TEST(Pseudoforest, LongEvenCycle) {
+  // 6-cycle: k0 on {i0,i1}, k1 on {i1,i2}, k2 on {i2,i0}.
+  Matrix<double> xbar(3, 3, 0.0);
+  xbar(0, 0) = 0.5;
+  xbar(1, 0) = 0.5;
+  xbar(1, 1) = 0.5;
+  xbar(2, 1) = 0.5;
+  xbar(2, 2) = 0.5;
+  xbar(0, 2) = 0.5;
+  const EdgeSelection sel = select_pseudoforest_edges(xbar);
+  expect_lemma38(xbar, sel);
+  for (ClassId k = 0; k < 3; ++k) {
+    EXPECT_EQ(sel.plus_machines[k].size(), 1u);
+    EXPECT_TRUE(sel.minus_machine[k].has_value());
+  }
+}
+
+}  // namespace
+}  // namespace setsched

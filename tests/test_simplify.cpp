@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "uniform/simplify.h"
+
+namespace setsched {
+namespace {
+
+UniformInstance small_instance() {
+  UniformInstance u;
+  u.job_size = {20, 7, 0.5, 0.25, 9};
+  u.job_class = {0, 0, 1, 1, 1};
+  u.setup_size = {4, 8};
+  u.speed = {1, 2};
+  return u;
+}
+
+TEST(Simplify, RejectsNonPowerOfTwoEpsilon) {
+  EXPECT_THROW((void)simplify_instance(small_instance(), 10.0, 0.3), CheckError);
+}
+
+TEST(Simplify, SlowMachinesRemoved) {
+  UniformInstance u;
+  u.job_size = {10};
+  u.job_class = {0};
+  u.setup_size = {1};
+  u.speed = {100.0, 0.1, 50.0};  // with eps=1/2, threshold = 0.5*100/3 = 16.7
+  const SimplifiedInstance s = simplify_instance(u, 10.0, 0.5);
+  EXPECT_EQ(s.instance.num_machines(), 2u);
+  EXPECT_EQ(s.machine_map, (std::vector<MachineId>{0, 2}));
+}
+
+TEST(Simplify, SmallJobsBecomePlaceholders) {
+  const SimplifiedInstance s = simplify_instance(small_instance(), 10.0, 0.5);
+  // Class 1: jobs 0.5, 0.25 are <= eps*s_1 = 4 -> replaced by placeholders
+  // of size 4 (count = ceil(0.75/4) = 1). Job 9 (class 1) stays.
+  std::size_t placeholders = 0;
+  for (JobId j = 0; j < s.instance.num_jobs(); ++j) {
+    if (s.original_job[j] == kUnassigned) {
+      ++placeholders;
+      EXPECT_EQ(s.instance.job_class[j], 1u);
+    }
+  }
+  EXPECT_EQ(placeholders, 1u);
+  EXPECT_EQ(s.merged_small_jobs[1], (std::vector<JobId>{2, 3}));
+  EXPECT_TRUE(s.merged_small_jobs[0].empty());
+}
+
+TEST(Simplify, RoundingInflatesAtMostByEps) {
+  UniformGenParams p;
+  p.num_jobs = 60;
+  p.num_classes = 6;
+  const UniformInstance u = generate_uniform(p, 3);
+  const double eps = 0.25;
+  const SimplifiedInstance s = simplify_instance(u, 100.0, eps);
+  for (JobId j = 0; j < s.instance.num_jobs(); ++j) {
+    const JobId orig = s.original_job[j];
+    if (orig == kUnassigned) continue;
+    EXPECT_GE(s.instance.job_size[j] + 1e-9, u.job_size[orig]);
+    EXPECT_LE(s.instance.job_size[j], (1 + eps) * u.job_size[orig] * (1 + 1e-9));
+  }
+  for (ClassId k = 0; k < u.num_classes(); ++k) {
+    EXPECT_GE(s.instance.setup_size[k] + 1e-9, u.setup_size[k]);
+  }
+}
+
+TEST(Simplify, SpeedsRoundedDownGeometrically) {
+  UniformGenParams p;
+  p.num_machines = 8;
+  p.profile = SpeedProfile::kUniformRandom;
+  p.max_speed_ratio = 16;
+  const UniformInstance u = generate_uniform(p, 4);
+  const double eps = 0.5;
+  const SimplifiedInstance s = simplify_instance(u, 50.0, eps);
+  for (std::size_t i = 0; i < s.instance.num_machines(); ++i) {
+    const double orig = u.speed[s.machine_map[i]];
+    EXPECT_LE(s.instance.speed[i], orig * (1 + 1e-9));
+    EXPECT_GE(s.instance.speed[i] * (1 + eps), orig * (1 - 1e-9));
+  }
+}
+
+TEST(Simplify, SizesAreOnTheDyadicGrid) {
+  UniformGenParams p;
+  p.num_jobs = 40;
+  const UniformInstance u = generate_uniform(p, 5);
+  const double eps = 0.25;
+  const SimplifiedInstance s = simplify_instance(u, 75.0, eps);
+  for (const double t : s.instance.job_size) {
+    const int e = std::ilogb(t);
+    const double unit = eps * std::ldexp(1.0, e);
+    const double steps = t / unit;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9) << t;
+  }
+}
+
+TEST(Simplify, LiftRestoresAllJobs) {
+  const UniformInstance u = small_instance();
+  const SimplifiedInstance s = simplify_instance(u, 10.0, 0.5);
+  // Assign every simplified job to machine 0 (mapped id 0).
+  Schedule simple{std::vector<MachineId>(s.instance.num_jobs(), 0)};
+  const Schedule lifted = lift_schedule(s, u, simple);
+  EXPECT_TRUE(lifted.complete());
+  EXPECT_FALSE(schedule_error(u.to_unrelated(), lifted).has_value());
+}
+
+class LiftRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LiftRoundTripTest, LiftedMakespanWithinEpsFactors) {
+  UniformGenParams p;
+  p.num_jobs = 30;
+  p.num_machines = 4;
+  p.num_classes = 4;
+  p.min_job_size = 1;
+  p.max_job_size = 60;
+  const UniformInstance u = generate_uniform(p, GetParam());
+  const double eps = 0.25;
+  const double T = uniform_lower_bound(u) * 2.0;
+  const SimplifiedInstance s = simplify_instance(u, T, eps);
+
+  // Any schedule of the simplified instance: round-robin by job index.
+  Schedule simple = Schedule::empty(s.instance.num_jobs());
+  for (JobId j = 0; j < s.instance.num_jobs(); ++j) {
+    simple.assignment[j] = static_cast<MachineId>(j % s.instance.num_machines());
+  }
+  const Schedule lifted = lift_schedule(s, u, simple);
+  EXPECT_TRUE(lifted.complete());
+
+  // Lemma 2.2-2.4 (backwards direction): the lifted schedule's makespan is
+  // at most (1+eps)^2 times the simplified one (placeholder unpacking may
+  // add one small job per class-machine; removed machines receive nothing).
+  const double simplified_ms = makespan(s.instance, simple);
+  const double lifted_ms = makespan(u, lifted);
+  EXPECT_LE(lifted_ms, simplified_ms * (1 + eps) * (1 + eps) + 1e-9)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiftRoundTripTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Simplify, PlaceholderCountMatchesCeil) {
+  UniformInstance u;
+  u.job_size = {1, 1, 1, 1, 1, 1, 1, 10};  // 7 small of total 7
+  u.job_class = {0, 0, 0, 0, 0, 0, 0, 0};
+  u.setup_size = {4};  // eps*s = 2 at eps=1/2 -> ceil(7/2) = 4 placeholders
+  u.speed = {1};
+  // T small enough that the minimum-size raise (eps*vmin*T/(n+K)) stays
+  // below the original sizes.
+  const SimplifiedInstance s = simplify_instance(u, 16.0, 0.5);
+  std::size_t placeholders = 0;
+  for (JobId j = 0; j < s.instance.num_jobs(); ++j) {
+    placeholders += s.original_job[j] == kUnassigned;
+  }
+  EXPECT_EQ(placeholders, 4u);
+}
+
+}  // namespace
+}  // namespace setsched
