@@ -45,11 +45,12 @@ int main() {
   for (int g = 0; g <= max_group; ++g) {
     std::size_t count = 0;
     for (const double v : inst.speed) count += groups.machine_in_group(v, g);
-    occupancy.row()
-        .add(static_cast<long long>(g))
-        .add("[" + format_double(groups.lower_boundary(g), 3) + ", " +
-             format_double(groups.lower_boundary(g + 2), 3) + ")")
-        .add(count);
+    std::string range = "[";
+    range += format_double(groups.lower_boundary(g), 3);
+    range += ", ";
+    range += format_double(groups.lower_boundary(g + 2), 3);
+    range += ")";
+    occupancy.row().add(static_cast<long long>(g)).add(range).add(count);
   }
   occupancy.print(std::cout);
 
@@ -64,8 +65,8 @@ int main() {
     for (const JobId j : by_class[k]) {
       if (groups.is_fringe_job(inst.job_size[j], inst.setup_size[k])) {
         ++fringe;
-        natives += (natives.empty() ? "" : " ") +
-                   std::to_string(groups.native_group(inst.job_size[j]));
+        if (!natives.empty()) natives += ' ';
+        natives += std::to_string(groups.native_group(inst.job_size[j]));
       } else {
         ++core;
       }

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "api/registry.h"
 #include "core/instance.h"
 #include "core/io.h"
 #include "core/schedule.h"
@@ -55,5 +56,11 @@ int main() {
   // Ground truth (exact branch and bound; fine at this size).
   const ExactResult exact = solve_exact(inst);
   report("exact optimum      ", exact.schedule);
+
+  // The same algorithms are also reachable by name through the unified
+  // Solver registry (what setsched_cli drives); see examples/registry_tour.
+  const ProblemInput input = ProblemInput::from_unrelated(inst);
+  const auto solver = SolverRegistry::global().create("local-search");
+  report("registry local-search", solver->solve(input, SolverContext{}).schedule);
   return 0;
 }

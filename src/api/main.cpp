@@ -1,0 +1,246 @@
+// setsched_cli — unified driver over the SolverRegistry.
+//
+// Usage:
+//   setsched_cli --list
+//   setsched_cli --solver=<name> (--instance=<file> | --generate=<preset>)
+//   setsched_cli --all           (--instance=<file> | --generate=<preset>)
+//
+// Options: --seed=N --epsilon=E --precision=P --time-limit=S --csv
+// Presets: uniform-small uniform-large unrelated-small unrelated-medium
+//          restricted class-uniform planted
+
+#include <cmath>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/presets.h"
+#include "api/registry.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/bounds.h"
+#include "core/schedule.h"
+
+namespace setsched {
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> solvers;
+  bool all = false;
+  bool list = false;
+  bool csv = false;
+  std::string instance_path;
+  std::string preset;
+  std::uint64_t seed = 1;
+  SolverContext context;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: setsched_cli --list\n"
+     << "       setsched_cli (--solver=<name> ... | --all)\n"
+     << "                    (--instance=<file> | --generate=<preset>)\n"
+     << "                    [--seed=N] [--epsilon=E] [--precision=P]\n"
+     << "                    [--time-limit=S] [--csv]\n"
+     << "presets:";
+  for (const std::string& preset : preset_names()) os << ' ' << preset;
+  os << '\n';
+}
+
+bool consume(const std::string& arg, const std::string& key, std::string* value) {
+  if (arg.rfind(key + "=", 0) != 0) return false;
+  *value = arg.substr(key.size() + 1);
+  return true;
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    std::string value;
+    try {
+      if (arg == "--list") {
+        options.list = true;
+      } else if (arg == "--all") {
+        options.all = true;
+      } else if (arg == "--csv") {
+        options.csv = true;
+      } else if (consume(arg, "--solver", &value)) {
+        options.solvers.push_back(value);
+      } else if (consume(arg, "--instance", &value)) {
+        options.instance_path = value;
+      } else if (consume(arg, "--generate", &value)) {
+        options.preset = value;
+      } else if (consume(arg, "--seed", &value)) {
+        options.seed = std::stoull(value);
+      } else if (consume(arg, "--epsilon", &value)) {
+        options.context.epsilon = std::stod(value);
+      } else if (consume(arg, "--precision", &value)) {
+        options.context.precision = std::stod(value);
+      } else if (consume(arg, "--time-limit", &value)) {
+        options.context.time_limit_s = std::stod(value);
+      } else {
+        std::cerr << "setsched_cli: unknown argument '" << arg << "'\n";
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "setsched_cli: bad numeric value in '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  options.context.seed = options.seed;
+  return options;
+}
+
+struct RunOutcome {
+  std::string solver;
+  bool supported = true;
+  bool valid = false;
+  double makespan = 0.0;
+  double ratio = 0.0;
+  std::size_t setups = 0;
+  double time_ms = 0.0;
+  std::string error;
+};
+
+RunOutcome run_solver(const std::string& name, const ProblemInput& input,
+                      const SolverContext& context, double lower_bound) {
+  RunOutcome outcome;
+  outcome.solver = name;
+  try {
+    const std::unique_ptr<Solver> solver = SolverRegistry::global().create(name);
+    if (!solver->supports(input)) {
+      outcome.supported = false;
+      outcome.error = "precondition not met";
+      return outcome;
+    }
+    Timer timer;
+    const ScheduleResult result = solver->solve(input, context);
+    outcome.time_ms = timer.elapsed_ms();
+    if (const auto error = schedule_error(input.instance, result.schedule)) {
+      outcome.error = "invalid schedule: " + *error;
+      return outcome;
+    }
+    const double evaluated = makespan(input.instance, result.schedule);
+    if (std::abs(evaluated - result.makespan) >
+        1e-9 * std::max(1.0, evaluated)) {
+      outcome.error = "reported makespan disagrees with schedule";
+      return outcome;
+    }
+    outcome.valid = true;
+    outcome.makespan = result.makespan;
+    outcome.ratio = lower_bound > 0.0 ? result.makespan / lower_bound : 1.0;
+    outcome.setups = total_setups(input.instance, result.schedule);
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+int list_solvers(bool csv) {
+  Table table({"solver"});
+  for (const std::string& name : SolverRegistry::global().names()) {
+    table.row().add(name);
+  }
+  csv ? table.print_csv(std::cout) : table.print(std::cout);
+  return 0;
+}
+
+int run(const CliOptions& options) {
+  const ProblemInput input = options.instance_path.empty()
+                                 ? generate_preset(options.preset, options.seed)
+                                 : load_problem(options.instance_path);
+  const double lower_bound = unrelated_lower_bound(input.instance);
+
+  std::vector<std::string> names = options.solvers;
+  if (options.all) names = SolverRegistry::global().names();
+
+  std::vector<RunOutcome> outcomes(names.size());
+  SolverContext context = options.context;
+  if (options.all && names.size() > 1) {
+    // One solver per pool task; solvers must not nest into the same pool.
+    context.pool = nullptr;
+    ThreadPool& pool = default_pool();
+    pool.parallel_for(0, names.size(), [&](std::size_t s) {
+      outcomes[s] = run_solver(names[s], input, context, lower_bound);
+    });
+  } else {
+    context.pool = &default_pool();
+    for (std::size_t s = 0; s < names.size(); ++s) {
+      outcomes[s] = run_solver(names[s], input, context, lower_bound);
+    }
+  }
+
+  std::ostringstream describe_source;
+  if (!options.instance_path.empty()) {
+    describe_source << "instance " << options.instance_path;
+  } else {
+    describe_source << "preset " << options.preset << " (seed " << options.seed
+                    << ")";
+  }
+  if (!options.csv) {
+    std::cout << describe_source.str() << ": " << input.instance.num_jobs()
+              << " jobs, " << input.instance.num_machines() << " machines, "
+              << input.instance.num_classes() << " classes, lower bound "
+              << format_double(lower_bound) << "\n\n";
+  }
+
+  Table table({"solver", "status", "makespan", "ratio_lb", "setups", "time_ms"});
+  bool any_failed = false;
+  for (const RunOutcome& outcome : outcomes) {
+    table.row().add(outcome.solver);
+    if (outcome.valid) {
+      table.add("ok")
+          .add(outcome.makespan)
+          .add(outcome.ratio)
+          .add(outcome.setups)
+          .add(outcome.time_ms, 1);
+    } else if (!outcome.supported) {
+      table.add("skipped").add("-").add("-").add("-").add("-");
+    } else {
+      any_failed = true;
+      table.add("FAILED").add("-").add("-").add("-").add("-");
+      std::cerr << "setsched_cli: " << outcome.solver << ": " << outcome.error
+                << "\n";
+    }
+  }
+  if (options.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return any_failed ? 2 : 0;
+}
+
+int cli_main(int argc, char** argv) {
+  const std::optional<CliOptions> options = parse_args(argc, argv);
+  if (!options) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  if (options->list) return list_solvers(options->csv);
+  if (options->solvers.empty() && !options->all) {
+    std::cerr << "setsched_cli: pick --solver=<name> or --all\n";
+    print_usage(std::cerr);
+    return 1;
+  }
+  if (options->instance_path.empty() == options->preset.empty()) {
+    std::cerr << "setsched_cli: pick exactly one of --instance / --generate\n";
+    print_usage(std::cerr);
+    return 1;
+  }
+  try {
+    return run(*options);
+  } catch (const std::exception& e) {
+    std::cerr << "setsched_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace setsched
+
+int main(int argc, char** argv) { return setsched::cli_main(argc, argv); }

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/solver.h"
+
+namespace setsched {
+
+/// Named instance families shared by the CLI, tests and examples. Each
+/// preset fixes the generator and its shape parameters; the seed picks the
+/// member of the family. Throws CheckError for unknown names.
+[[nodiscard]] ProblemInput generate_preset(const std::string& preset,
+                                           std::uint64_t seed);
+
+/// All preset names, sorted.
+[[nodiscard]] std::vector<std::string> preset_names();
+
+/// Loads an instance file in the core/io.h text format, dispatching on the
+/// header kind ("uniform" files keep their structured form, so the uniform
+/// solvers stay applicable).
+[[nodiscard]] ProblemInput load_problem(const std::string& path);
+
+}  // namespace setsched

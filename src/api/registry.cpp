@@ -1,0 +1,213 @@
+#include "api/registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "colgen/config_lp.h"
+#include "common/check.h"
+#include "core/bounds.h"
+#include "core/schedule.h"
+#include "exact/branch_bound.h"
+#include "improve/local_search.h"
+#include "restricted/approx.h"
+#include "uniform/lpt.h"
+#include "uniform/ptas.h"
+#include "unrelated/greedy.h"
+#include "unrelated/rounding.h"
+
+namespace setsched {
+
+namespace {
+
+using SupportsFn = bool (*)(const ProblemInput&);
+using SolveFn = ScheduleResult (*)(const ProblemInput&, const SolverContext&);
+
+/// Adapter turning a pair of free functions into a Solver. All built-in
+/// algorithms are stateless, so this is the only implementation needed.
+class FunctionSolver final : public Solver {
+ public:
+  FunctionSolver(std::string name, SupportsFn supports, SolveFn solve)
+      : name_(std::move(name)), supports_(supports), solve_(solve) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] bool supports(const ProblemInput& input) const override {
+    return supports_ == nullptr || supports_(input);
+  }
+
+  [[nodiscard]] ScheduleResult solve(const ProblemInput& input,
+                                     const SolverContext& context) const override {
+    check(supports(input), "solver '" + name_ +
+                               "' does not support this instance "
+                               "(structural precondition failed)");
+    return solve_(input, context);
+  }
+
+ private:
+  std::string name_;
+  SupportsFn supports_;
+  SolveFn solve_;
+};
+
+/// Re-evaluates the schedule on the matrix form so every solver's makespan
+/// is computed by the same code path (makes results comparable and lets the
+/// tests assert makespan consistency).
+ScheduleResult finish(const Instance& instance, Schedule schedule) {
+  const double value = makespan(instance, schedule);
+  return ScheduleResult{std::move(schedule), value};
+}
+
+bool has_uniform(const ProblemInput& input) { return input.uniform.has_value(); }
+
+bool is_restricted(const ProblemInput& input) {
+  return is_restricted_class_uniform(input.instance);
+}
+
+bool is_class_uniform(const ProblemInput& input) {
+  return is_class_uniform_processing(input.instance);
+}
+
+RoundingOptions rounding_options(const SolverContext& context) {
+  RoundingOptions options;
+  options.seed = context.seed;
+  options.search_precision = context.precision;
+  options.pool = context.pool;
+  return options;
+}
+
+void register_builtin_solvers(SolverRegistry& registry) {
+  const auto add = [&registry](std::string name, SupportsFn supports,
+                               SolveFn solve) {
+    registry.add(name, [name, supports, solve] {
+      return std::make_unique<FunctionSolver>(name, supports, solve);
+    });
+  };
+
+  // -- Baselines (any instance) --------------------------------------------
+  add("best-machine", nullptr,
+      [](const ProblemInput& input, const SolverContext&) {
+        return finish(input.instance, best_machine_schedule(input.instance));
+      });
+  add("greedy", nullptr, [](const ProblemInput& input, const SolverContext&) {
+    return finish(input.instance, greedy_min_load(input.instance).schedule);
+  });
+  add("greedy-classes", nullptr,
+      [](const ProblemInput& input, const SolverContext&) {
+        return finish(input.instance, greedy_class_batch(input.instance).schedule);
+      });
+  add("cover-greedy", nullptr,
+      [](const ProblemInput& input, const SolverContext&) {
+        return finish(input.instance, cover_greedy(input.instance).schedule);
+      });
+
+  // -- Uniformly related machines (Section 2) ------------------------------
+  add("lpt", has_uniform, [](const ProblemInput& input, const SolverContext&) {
+    return finish(input.instance, lpt_with_placeholders(*input.uniform).schedule);
+  });
+  add("lpt-plain", has_uniform,
+      [](const ProblemInput& input, const SolverContext&) {
+        return finish(input.instance, lpt_uniform(*input.uniform).schedule);
+      });
+  add("ptas", has_uniform,
+      [](const ProblemInput& input, const SolverContext& context) {
+        PtasOptions options;
+        options.epsilon = context.epsilon;
+        return finish(input.instance,
+                      ptas_uniform(*input.uniform, options).schedule);
+      });
+
+  // -- Unrelated machines (Section 3.1) ------------------------------------
+  add("assignment-lp", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        return finish(
+            input.instance,
+            argmax_rounding(input.instance, context.precision).schedule);
+      });
+  add("rounding", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        const RoundingResult result =
+            randomized_rounding(input.instance, rounding_options(context));
+        return finish(input.instance, result.schedule);
+      });
+  add("colgen", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        ConfigLpOptions config;
+        config.pool = context.pool;
+        const RoundingResult result = randomized_rounding_config(
+            input.instance, rounding_options(context), config);
+        return finish(input.instance, result.schedule);
+      });
+
+  // -- Special structures (Section 3.3) ------------------------------------
+  add("restricted-2approx", is_restricted,
+      [](const ProblemInput& input, const SolverContext& context) {
+        const ConstantApproxResult result =
+            two_approx_restricted(input.instance, context.precision);
+        return finish(input.instance, result.schedule);
+      });
+  add("classuniform-3approx", is_class_uniform,
+      [](const ProblemInput& input, const SolverContext& context) {
+        const ConstantApproxResult result =
+            three_approx_class_uniform(input.instance, context.precision);
+        return finish(input.instance, result.schedule);
+      });
+
+  // -- Exact and improvement -----------------------------------------------
+  add("exact", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        ExactOptions options;
+        options.time_limit_s = context.time_limit_s;
+        options.initial_upper_bound = unrelated_upper_bound(input.instance);
+        return finish(input.instance,
+                      solve_exact(input.instance, options).schedule);
+      });
+  add("local-search", nullptr,
+      [](const ProblemInput& input, const SolverContext&) {
+        const ScheduleResult start = greedy_min_load(input.instance);
+        const LocalSearchResult improved =
+            local_search(input.instance, start.schedule);
+        return finish(input.instance, improved.schedule);
+      });
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::add(std::string name, Factory factory) {
+  check(!name.empty(), "solver name must be non-empty");
+  check(static_cast<bool>(factory), "solver factory must be callable");
+  const auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  check(inserted, "duplicate solver name '" + it->first + "'");
+}
+
+bool SolverRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(std::string_view name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::ostringstream os;
+    os << "unknown solver '" << name << "'; registered:";
+    for (const auto& [known, factory] : factories_) os << ' ' << known;
+    check(false, os.str());
+  }
+  return it->second();
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) result.push_back(name);
+  return result;  // std::map iterates in sorted order
+}
+
+}  // namespace setsched

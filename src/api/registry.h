@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/solver.h"
+
+namespace setsched {
+
+/// Name -> factory map over Solver implementations. The process-wide
+/// global() registry comes pre-populated with every algorithm of the seed
+/// library; PRs adding a new algorithm register it once here and it is
+/// immediately reachable from the CLI, the tests and the benchmarks.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>()>;
+
+  /// The process-wide registry, built (thread-safely, on first use) with all
+  /// built-in solvers.
+  [[nodiscard]] static SolverRegistry& global();
+
+  /// Registers a factory; throws CheckError on a duplicate name.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Instantiates the named solver; throws CheckError on unknown names
+  /// (the message lists all registered names).
+  [[nodiscard]] std::unique_ptr<Solver> create(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace setsched

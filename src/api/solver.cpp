@@ -1,0 +1,20 @@
+#include "api/solver.h"
+
+#include <utility>
+
+namespace setsched {
+
+ProblemInput ProblemInput::from_unrelated(Instance instance) {
+  instance.validate();
+  return ProblemInput{std::move(instance), std::nullopt};
+}
+
+ProblemInput ProblemInput::from_uniform(UniformInstance uniform) {
+  uniform.validate();
+  Instance instance = uniform.to_unrelated();
+  return ProblemInput{std::move(instance), std::move(uniform)};
+}
+
+bool Solver::supports(const ProblemInput&) const { return true; }
+
+}  // namespace setsched

@@ -1,8 +1,10 @@
 #include "core/io.h"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 
 #include "common/check.h"
 
@@ -14,7 +16,12 @@ void write_value(std::ostream& os, double v) {
   if (v >= kInfinity) {
     os << "inf";
   } else {
-    os << v;
+    // Shortest decimal form that parses back to exactly v, so save/load is
+    // lossless for every finite time (operator<< truncates to 6 digits).
+    char buffer[32];
+    const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+    check(ec == std::errc{}, "failed to format time value");
+    os.write(buffer, end - buffer);
   }
 }
 
@@ -22,7 +29,15 @@ double read_value(std::istream& is) {
   std::string token;
   check(static_cast<bool>(is >> token), "unexpected end of instance stream");
   if (token == "inf") return kInfinity;
-  return std::stod(token);
+  // std::from_chars mirrors the std::to_chars writer: locale-independent,
+  // so the round trip stays exact regardless of the host's LC_NUMERIC.
+  double value = 0.0;
+  const char* const begin = token.data();
+  const char* const last = begin + token.size();
+  const auto [end, ec] = std::from_chars(begin, last, value);
+  check(ec == std::errc{} && end == last,
+        "bad numeric token '" + token + "' in instance stream");
+  return value;
 }
 
 void expect_header(std::istream& is, const std::string& kind) {

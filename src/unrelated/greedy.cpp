@@ -1,6 +1,7 @@
 #include "unrelated/greedy.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/check.h"
@@ -116,6 +117,60 @@ ScheduleResult greedy_class_batch(const Instance& instance) {
     for (const JobId j : by_class[k]) schedule.assignment[j] = best;
     load[best] = best_load;
   }
+  return {schedule, makespan(instance, schedule)};
+}
+
+ScheduleResult cover_greedy(const Instance& instance) {
+  instance.validate();
+  const std::size_t m = instance.num_machines();
+  const std::size_t n = instance.num_jobs();
+  const std::size_t kc = instance.num_classes();
+
+  Schedule schedule = Schedule::empty(n);
+  const auto by_class = instance.jobs_by_class();
+  std::vector<char> has_class(m * kc, 0);
+  std::size_t unassigned = n;
+
+  while (unassigned > 0) {
+    double best_density = -1.0;
+    MachineId best_machine = kUnassigned;
+    ClassId best_class = 0;
+    std::vector<JobId> best_batch;
+
+    std::vector<JobId> batch;
+    for (MachineId i = 0; i < m; ++i) {
+      for (ClassId k = 0; k < kc; ++k) {
+        batch.clear();
+        double cost = has_class[i * kc + k] ? 0.0 : instance.setup(i, k);
+        if (cost >= kInfinity) continue;
+        for (const JobId j : by_class[k]) {
+          if (schedule.assignment[j] != kUnassigned) continue;
+          if (!instance.eligible(i, j)) continue;
+          batch.push_back(j);
+          cost += instance.proc(i, j);
+        }
+        if (batch.empty()) continue;
+        const double density = cost > 0.0
+                                   ? static_cast<double>(batch.size()) / cost
+                                   : std::numeric_limits<double>::max();
+        if (density > best_density) {
+          best_density = density;
+          best_machine = i;
+          best_class = k;
+          best_batch = batch;
+        }
+      }
+    }
+
+    check(best_machine != kUnassigned,
+          "cover_greedy: some job has no eligible machine");
+    for (const JobId j : best_batch) {
+      schedule.assignment[j] = best_machine;
+    }
+    has_class[best_machine * kc + best_class] = 1;
+    unassigned -= best_batch.size();
+  }
+
   return {schedule, makespan(instance, schedule)};
 }
 

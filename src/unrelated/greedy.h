@@ -16,4 +16,11 @@ namespace setsched {
 /// Never splits a class, so it pays exactly one setup per non-empty class.
 [[nodiscard]] ScheduleResult greedy_class_batch(const Instance& instance);
 
+/// Set-cover-flavoured density greedy: repeatedly assign, among all
+/// (machine, class) pairs, the batch of still-unassigned eligible jobs that
+/// maximizes jobs-covered per unit of added load (processing + setup if the
+/// class is new on that machine). Degenerates to the classic greedy SetCover
+/// on the Theorem 3.5 reduction instances (p in {0, inf}, unit setups).
+[[nodiscard]] ScheduleResult cover_greedy(const Instance& instance);
+
 }  // namespace setsched

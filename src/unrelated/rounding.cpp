@@ -117,4 +117,23 @@ RoundingResult randomized_rounding(const Instance& instance,
   return out;
 }
 
+ScheduleResult argmax_rounding(const Instance& instance,
+                               double search_precision,
+                               const AssignmentLpOptions& options) {
+  const LpSearchResult lp =
+      search_assignment_lp(instance, search_precision, options);
+  Schedule schedule = Schedule::empty(instance.num_jobs());
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    double best_x = -1.0;
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      if (!instance.eligible(i, j)) continue;
+      if (lp.fractional.x(i, j) > best_x) {
+        best_x = lp.fractional.x(i, j);
+        schedule.assignment[j] = i;
+      }
+    }
+  }
+  return {schedule, makespan(instance, schedule)};
+}
+
 }  // namespace setsched

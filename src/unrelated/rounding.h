@@ -53,4 +53,12 @@ struct RoundingResult {
 [[nodiscard]] RoundingResult randomized_rounding(const Instance& instance,
                                                  const RoundingOptions& options = {});
 
+/// Deterministic sibling of the Theorem 3.3 rounding: binary-searches the
+/// smallest LP-feasible T, then assigns each job to the machine carrying its
+/// largest fraction x_ij. No approximation guarantee (mass can concentrate),
+/// but a useful derandomized baseline against the sampling rounding.
+[[nodiscard]] ScheduleResult argmax_rounding(
+    const Instance& instance, double search_precision = 0.05,
+    const AssignmentLpOptions& options = {});
+
 }  // namespace setsched

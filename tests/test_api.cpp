@@ -1,0 +1,195 @@
+// Suite for the unified Solver registry (src/api/): every registered solver
+// is created through the registry, run end-to-end on small generated
+// instances, and checked for schedule validity, makespan consistency and
+// consistency with the lower bounds of core/bounds.h.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "api/registry.h"
+#include "common/check.h"
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "core/schedule.h"
+#include "exact/branch_bound.h"
+#include "unrelated/greedy.h"
+
+namespace setsched {
+namespace {
+
+SolverContext fast_context() {
+  SolverContext context;
+  context.seed = 17;
+  context.precision = 0.1;
+  context.time_limit_s = 5.0;
+  return context;
+}
+
+ProblemInput small_uniform() {
+  UniformGenParams params;
+  params.num_jobs = 14;
+  params.num_machines = 3;
+  params.num_classes = 3;
+  return ProblemInput::from_uniform(generate_uniform(params, 5));
+}
+
+ProblemInput small_unrelated() {
+  UnrelatedGenParams params;
+  params.num_jobs = 12;
+  params.num_machines = 3;
+  params.num_classes = 3;
+  params.eligibility = 0.9;
+  return ProblemInput::from_unrelated(generate_unrelated(params, 5));
+}
+
+ProblemInput small_restricted() {
+  RestrictedGenParams params;
+  params.num_jobs = 12;
+  params.num_machines = 4;
+  params.num_classes = 4;
+  return ProblemInput::from_unrelated(
+      generate_restricted_class_uniform(params, 5));
+}
+
+ProblemInput small_class_uniform() {
+  ClassUniformGenParams params;
+  params.num_jobs = 12;
+  params.num_machines = 4;
+  params.num_classes = 4;
+  return ProblemInput::from_unrelated(
+      generate_class_uniform_processing(params, 5));
+}
+
+TEST(SolverRegistry, RegistersEveryBuiltinSolver) {
+  const auto names = SolverRegistry::global().names();
+  const char* expected[] = {
+      "assignment-lp", "best-machine",        "classuniform-3approx",
+      "colgen",        "cover-greedy",        "exact",
+      "greedy",        "greedy-classes",      "local-search",
+      "lpt",           "lpt-plain",           "ptas",
+      "restricted-2approx",                   "rounding",
+  };
+  for (const char* name : expected) {
+    EXPECT_TRUE(SolverRegistry::global().contains(name)) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(expected));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistry, CreateYieldsSolverWithMatchingName) {
+  for (const std::string& name : SolverRegistry::global().names()) {
+    const auto solver = SolverRegistry::global().create(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+  }
+}
+
+TEST(SolverRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)SolverRegistry::global().create("no-such-solver"),
+               CheckError);
+}
+
+TEST(SolverRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry registry;
+  const auto factory = [] { return SolverRegistry::global().create("greedy"); };
+  registry.add("x", factory);
+  EXPECT_THROW(registry.add("x", factory), CheckError);
+}
+
+TEST(SolverRegistry, SupportsReflectsStructuralPreconditions) {
+  const ProblemInput unrelated = small_unrelated();
+  const ProblemInput uniform = small_uniform();
+  const ProblemInput restricted = small_restricted();
+
+  const auto ptas = SolverRegistry::global().create("ptas");
+  EXPECT_TRUE(ptas->supports(uniform));
+  EXPECT_FALSE(ptas->supports(unrelated));
+  EXPECT_THROW((void)ptas->solve(unrelated, fast_context()), CheckError);
+
+  const auto two_approx = SolverRegistry::global().create("restricted-2approx");
+  EXPECT_TRUE(two_approx->supports(restricted));
+  EXPECT_FALSE(two_approx->supports(unrelated));
+
+  const auto greedy = SolverRegistry::global().create("greedy");
+  EXPECT_TRUE(greedy->supports(uniform));
+  EXPECT_TRUE(greedy->supports(unrelated));
+}
+
+/// Runs every supporting registered solver on `input` and checks the shared
+/// contract: complete valid schedule, self-consistent makespan, and makespan
+/// at or above the instance lower bound from core/bounds.h.
+void run_all_solvers(const ProblemInput& input) {
+  const double lower = unrelated_lower_bound(input.instance);
+  ASSERT_GT(lower, 0.0);
+  std::size_t ran = 0;
+  for (const std::string& name : SolverRegistry::global().names()) {
+    const auto solver = SolverRegistry::global().create(name);
+    if (!solver->supports(input)) continue;
+    SCOPED_TRACE(name);
+    const ScheduleResult result = solver->solve(input, fast_context());
+    EXPECT_EQ(schedule_error(input.instance, result.schedule), std::nullopt);
+    EXPECT_NEAR(result.makespan, makespan(input.instance, result.schedule),
+                1e-9 * std::max(1.0, result.makespan));
+    EXPECT_GE(result.makespan, lower * (1.0 - 1e-12));
+    ++ran;
+  }
+  EXPECT_GE(ran, 9u);  // everything except the structure-gated solvers
+}
+
+TEST(SolverEndToEnd, UniformInstance) { run_all_solvers(small_uniform()); }
+
+TEST(SolverEndToEnd, UnrelatedInstance) { run_all_solvers(small_unrelated()); }
+
+TEST(SolverEndToEnd, RestrictedInstance) { run_all_solvers(small_restricted()); }
+
+TEST(SolverEndToEnd, ClassUniformInstance) {
+  run_all_solvers(small_class_uniform());
+}
+
+TEST(SolverEndToEnd, UniformLowerBoundHoldsForUniformSolvers) {
+  const ProblemInput input = small_uniform();
+  const double lower = uniform_lower_bound(*input.uniform);
+  for (const char* name : {"lpt", "lpt-plain", "ptas"}) {
+    SCOPED_TRACE(name);
+    const auto solver = SolverRegistry::global().create(name);
+    const ScheduleResult result = solver->solve(input, fast_context());
+    EXPECT_GE(result.makespan, lower * (1.0 - 1e-9));
+  }
+}
+
+TEST(SolverEndToEnd, HeuristicsNeverBeatExact) {
+  UnrelatedGenParams params;
+  params.num_jobs = 8;
+  params.num_machines = 3;
+  params.num_classes = 2;
+  const ProblemInput input =
+      ProblemInput::from_unrelated(generate_unrelated(params, 11));
+
+  ExactOptions exact_options;
+  exact_options.time_limit_s = 10.0;
+  const ExactResult optimum = solve_exact(input.instance, exact_options);
+  ASSERT_TRUE(optimum.proven_optimal);
+
+  for (const std::string& name : SolverRegistry::global().names()) {
+    const auto solver = SolverRegistry::global().create(name);
+    if (!solver->supports(input)) continue;
+    SCOPED_TRACE(name);
+    const ScheduleResult result = solver->solve(input, fast_context());
+    EXPECT_GE(result.makespan, optimum.makespan * (1.0 - 1e-9));
+  }
+}
+
+TEST(CoverGreedy, CoversEveryJobAndPaysSetupsOnce) {
+  const ProblemInput input = small_unrelated();
+  const ScheduleResult result = cover_greedy(input.instance);
+  EXPECT_EQ(schedule_error(input.instance, result.schedule), std::nullopt);
+  // Each machine pays each class at most once by construction; total setups
+  // are therefore bounded by machines * classes.
+  EXPECT_LE(total_setups(input.instance, result.schedule),
+            input.instance.num_machines() * input.instance.num_classes());
+}
+
+}  // namespace
+}  // namespace setsched
