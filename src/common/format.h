@@ -1,0 +1,36 @@
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace setsched {
+
+/// Writes the shortest decimal form that parses back to exactly `v` via
+/// std::to_chars: locale-independent and lossless, so serialized streams are
+/// byte-stable across runs and platforms (operator<< truncates to 6 digits).
+/// Shared by core/io and the expt record/bench writers; non-finite values
+/// format as "inf"/"nan" per to_chars, so callers wanting to reject or remap
+/// them must check first.
+inline void write_shortest_double(std::ostream& os, double v) {
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  check(ec == std::errc{}, "failed to format double value");
+  os.write(buffer, end - buffer);
+}
+
+/// write_shortest_double restricted to finite values: throws CheckError
+/// (prefixed with `what`) otherwise. For formats with no non-finite spelling
+/// (JSON writers).
+inline void write_finite_double(std::ostream& os, double v,
+                                std::string_view what) {
+  check(std::isfinite(v), std::string(what) + ": non-finite value");
+  write_shortest_double(os, v);
+}
+
+}  // namespace setsched

@@ -10,6 +10,7 @@ namespace setsched {
 
 double percentile(std::span<const double> sample, double q) {
   check(!sample.empty(), "percentile of empty sample");
+  // Written so NaN q (which fails every comparison) is rejected too.
   check(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end());
@@ -34,6 +35,18 @@ Summary summarize(std::span<const double> sample) {
   s.median = percentile(sample, 0.5);
   s.p90 = percentile(sample, 0.9);
   return s;
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  RunningStats rs;
+  for (const double x : sample) rs.add(x);
+  return rs.mean();
+}
+
+double max_value(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  return *std::max_element(sample.begin(), sample.end());
 }
 
 double geometric_mean(std::span<const double> sample) {

@@ -22,7 +22,16 @@ struct Summary {
 [[nodiscard]] Summary summarize(std::span<const double> sample);
 
 /// Linear-interpolation percentile, q in [0, 1]. Input need not be sorted.
+/// Throws CheckError on an empty sample and on q outside [0, 1] (including
+/// NaN); a single-element sample returns that element for every valid q.
 [[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Arithmetic mean; 0.0 for an empty sample. Well-defined on any input so
+/// aggregators may call it on failure-filtered (possibly empty) buckets.
+[[nodiscard]] double mean(std::span<const double> sample);
+
+/// Maximum value; 0.0 for an empty sample (same contract as mean()).
+[[nodiscard]] double max_value(std::span<const double> sample);
 
 /// Geometric mean (requires strictly positive values; returns 0 otherwise).
 [[nodiscard]] double geometric_mean(std::span<const double> sample);

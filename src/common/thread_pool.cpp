@@ -47,6 +47,19 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Fork-join rendezvous shared by the parallel_for variants: the caller
+/// blocks on done_cv until every spawned task decremented `remaining`.
+struct JoinState {
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t remaining;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
@@ -58,12 +71,6 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
-  struct JoinState {
-    std::mutex m;
-    std::condition_variable done_cv;
-    std::size_t remaining;
-    std::exception_ptr first_error;
-  };
   JoinState join{.m = {}, .done_cv = {}, .remaining = chunks, .first_error = nullptr};
 
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
@@ -74,6 +81,42 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       std::exception_ptr error;
       try {
         for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::scoped_lock lock(join.m);
+      if (error && !join.first_error) join.first_error = error;
+      if (--join.remaining == 0) join.done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock lock(join.m);
+  join.done_cv.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.first_error) std::rethrow_exception(join.first_error);
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers = std::min(total, thread_count());
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  JoinState join{.m = {}, .done_cv = {}, .remaining = workers, .first_error = nullptr};
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    enqueue([end, &next, &body, &join] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < end; i = next.fetch_add(1, std::memory_order_relaxed)) {
+          body(i);
+        }
       } catch (...) {
         error = std::current_exception();
       }

@@ -36,6 +36,15 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Like parallel_for, but with dynamic scheduling at granularity one:
+  /// workers pull the next index from a shared counter, so wildly uneven
+  /// iteration costs (a 10 ms greedy cell next to a 16 s LP cell in a sweep)
+  /// still balance. Same blocking fork-join and exception semantics; a
+  /// throwing worker stops pulling further indices but the remaining workers
+  /// drain the range.
+  void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& body);
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();

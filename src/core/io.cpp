@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "common/check.h"
+#include "common/format.h"
 
 namespace setsched {
 
@@ -14,14 +15,9 @@ namespace {
 
 void write_value(std::ostream& os, double v) {
   if (v >= kInfinity) {
-    os << "inf";
+    os << "inf";  // read_value() only knows this spelling, not to_chars' own
   } else {
-    // Shortest decimal form that parses back to exactly v, so save/load is
-    // lossless for every finite time (operator<< truncates to 6 digits).
-    char buffer[32];
-    const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
-    check(ec == std::errc{}, "failed to format time value");
-    os.write(buffer, end - buffer);
+    write_shortest_double(os, v);
   }
 }
 

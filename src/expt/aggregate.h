@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "expt/plan.h"
+#include "expt/record.h"
+
+namespace setsched::expt {
+
+/// Per-(solver, preset) rollup of a sweep. Quality statistics (ratio) and
+/// runtime percentiles are computed over the ok cells only; empty buckets
+/// (every cell skipped or failed) report zeros.
+struct AggregateSummary {
+  std::string solver;
+  std::string preset;
+  std::size_t cells = 0;
+  std::size_t ok = 0;
+  std::size_t skipped = 0;
+  std::size_t failed = 0;  ///< kInvalid + kError
+  double ratio_mean = 0.0;
+  double ratio_max = 0.0;
+  double time_p50_ms = 0.0;
+  double time_p95_ms = 0.0;
+
+  [[nodiscard]] bool operator==(const AggregateSummary&) const = default;
+};
+
+/// Groups records by (solver, preset) and summarizes each bucket; the result
+/// is sorted by (solver, preset).
+[[nodiscard]] std::vector<AggregateSummary> aggregate(
+    std::span<const RunRecord> records);
+
+/// Renders summaries as a common/table comparison table.
+[[nodiscard]] Table summary_table(std::span<const AggregateSummary> summaries);
+
+/// Machine-readable sweep report (the BENCH_expt.json trajectory artifact):
+/// the plan, sweep-wide counts, and the per-bucket summaries.
+void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
+                      std::span<const AggregateSummary> summaries);
+
+}  // namespace setsched::expt

@@ -1,0 +1,141 @@
+#include "expt/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "api/presets.h"
+#include "api/registry.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/bounds.h"
+#include "core/schedule.h"
+
+namespace setsched::expt {
+
+namespace {
+
+/// One (preset, seed) point of the instance grid: the generated input plus
+/// its lower bound, computed once and shared by all solver cells of the row.
+struct GridPoint {
+  ProblemInput input;
+  double lower_bound = 0.0;
+};
+
+RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
+                   const GridPoint& point) {
+  const std::string& solver_name = plan.solvers[key.solver];
+  const std::string& preset_name = plan.presets[key.preset];
+
+  RunRecord record;
+  record.solver = solver_name;
+  record.preset = preset_name;
+  record.seed = key.seed;
+  record.cell_seed = cell_seed(preset_name, key.seed, solver_name);
+  record.num_jobs = point.input.instance.num_jobs();
+  record.num_machines = point.input.instance.num_machines();
+  record.num_classes = point.input.instance.num_classes();
+  record.lower_bound = point.lower_bound;
+  record.epsilon = plan.epsilon;
+  record.precision = plan.precision;
+  record.time_limit_s = plan.time_limit_s;
+
+  SolverContext context;
+  context.seed = record.cell_seed;
+  context.epsilon = plan.epsilon;
+  context.precision = plan.precision;
+  context.time_limit_s = plan.time_limit_s;
+  // Cells are the unit of parallelism; solvers must not nest into the pool
+  // that is running them (same rule as setsched_cli --all).
+  context.pool = nullptr;
+
+  try {
+    const std::unique_ptr<Solver> solver =
+        SolverRegistry::global().create(solver_name);
+    if (!solver->supports(point.input)) {
+      record.status = RunStatus::kSkipped;
+      return record;
+    }
+    Timer timer;
+    const ScheduleResult result = solver->solve(point.input, context);
+    if (plan.record_timing) record.time_ms = timer.elapsed_ms();
+    if (const auto error =
+            schedule_error(point.input.instance, result.schedule)) {
+      record.status = RunStatus::kInvalid;
+      record.error = "invalid schedule: " + *error;
+      return record;
+    }
+    const double evaluated = makespan(point.input.instance, result.schedule);
+    if (std::abs(evaluated - result.makespan) >
+        1e-9 * std::max(1.0, evaluated)) {
+      record.status = RunStatus::kInvalid;
+      record.error = "reported makespan disagrees with schedule";
+      return record;
+    }
+    record.status = RunStatus::kOk;
+    record.makespan = result.makespan;
+    record.ratio =
+        point.lower_bound > 0.0 ? result.makespan / point.lower_bound : 1.0;
+    record.setups = total_setups(point.input.instance, result.schedule);
+  } catch (const std::exception& e) {
+    record.status = RunStatus::kError;
+    record.error = e.what();
+  }
+  return record;
+}
+
+}  // namespace
+
+std::vector<RunRecord> run_experiment(const ExperimentPlan& plan) {
+  plan.validate();
+
+  // Private pool when the plan pins a thread count; the shared default pool
+  // otherwise. threads == 1 bypasses pools entirely (exercised by the
+  // determinism tests as the sequential reference).
+  std::optional<ThreadPool> own_pool;
+  ThreadPool* pool = nullptr;
+  if (plan.threads == 0) {
+    pool = &default_pool();
+  } else if (plan.threads > 1) {
+    pool = &own_pool.emplace(plan.threads);
+  }
+  const auto for_each = [pool](std::size_t count, auto&& body) {
+    if (pool == nullptr) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } else {
+      pool->parallel_for_dynamic(0, count, body);
+    }
+  };
+
+  // Phase 1: materialize the instance grid, one point per (preset, seed).
+  // Generation keys on (preset, seed) only, so the grid is identical no
+  // matter how the points are scheduled.
+  const std::size_t num_seeds = plan.num_seeds();
+  std::vector<std::optional<GridPoint>> points(plan.num_points());
+  for_each(points.size(), [&](std::size_t p) {
+    const std::string& preset = plan.presets[p / num_seeds];
+    const std::uint64_t seed = plan.seed_begin + p % num_seeds;
+    GridPoint point{generate_preset(preset, seed), 0.0};
+    // Best core/bounds lower bound available for the form: the aggregate
+    // load/speed bound dominates the per-job bound on uniform instances.
+    point.lower_bound = unrelated_lower_bound(point.input.instance);
+    if (point.input.uniform.has_value()) {
+      point.lower_bound = std::max(point.lower_bound,
+                                   uniform_lower_bound(*point.input.uniform));
+    }
+    points[p].emplace(std::move(point));
+  });
+
+  // Phase 2: run the cells, one stolen at a time, each into its own slot.
+  std::vector<RunRecord> records(plan.num_cells());
+  for_each(records.size(), [&](std::size_t c) {
+    const CellKey key = cell_key(plan, c);
+    records[c] = run_cell(plan, key, *points[key.point]);
+  });
+  return records;
+}
+
+}  // namespace setsched::expt

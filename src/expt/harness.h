@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "expt/plan.h"
+#include "expt/record.h"
+
+namespace setsched::expt {
+
+/// Executes every (preset, seed, solver) cell of the plan and returns one
+/// RunRecord per cell, in cell_key() order.
+///
+/// Determinism contract: records depend only on the plan, never on thread
+/// count or scheduling order. Instances are generated from (preset, seed)
+/// alone — every solver of a cell row sees the same instance — and solver
+/// seeds come from cell_seed(). Cells are sharded across the pool with
+/// work-stealing granularity of one cell (ThreadPool::parallel_for_dynamic),
+/// each writing its own slot of the result vector; the only
+/// thread-count-dependent field is time_ms, which plan.record_timing = false
+/// zeroes for byte-identical output.
+///
+/// A solver that throws or returns an invalid schedule is recorded
+/// (kError / kInvalid) rather than aborting the sweep; plan validation
+/// errors still throw CheckError.
+[[nodiscard]] std::vector<RunRecord> run_experiment(const ExperimentPlan& plan);
+
+}  // namespace setsched::expt

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace setsched::expt {
+
+/// Outcome of one (instance, solver) cell of a sweep.
+enum class RunStatus {
+  kOk,       ///< schedule returned, validated, makespan confirmed
+  kSkipped,  ///< solver precondition not met for this instance
+  kInvalid,  ///< solver returned an infeasible schedule or a wrong makespan
+  kError,    ///< solver threw; `error` holds the message
+};
+
+[[nodiscard]] std::string_view run_status_name(RunStatus status);
+
+/// Parses a run_status_name() string; throws CheckError on unknown names.
+[[nodiscard]] RunStatus run_status_from_name(std::string_view name);
+
+/// One structured result row of an experiment sweep: the cell key
+/// (solver, preset, seed), the instance shape, the measured outcome, and an
+/// echo of the solver-context knobs so a record is self-describing. Streamed
+/// as JSONL/CSV by record_io.h and consumed by aggregate.h.
+struct RunRecord {
+  std::string solver;
+  std::string preset;
+  std::uint64_t seed = 0;       ///< instance seed (member of the preset family)
+  std::uint64_t cell_seed = 0;  ///< derived solver seed, see cell_seed()
+
+  std::size_t num_jobs = 0;
+  std::size_t num_machines = 0;
+  std::size_t num_classes = 0;
+
+  RunStatus status = RunStatus::kOk;
+  double makespan = 0.0;
+  double lower_bound = 0.0;  ///< best core/bounds bound for the instance form
+  double ratio = 0.0;        ///< makespan / lower_bound (1.0 when bound is 0)
+  std::size_t setups = 0;    ///< total setups paid across machines
+  double time_ms = 0.0;      ///< wall time of solve(); 0 when timing is off
+
+  // Context echo.
+  double epsilon = 0.0;
+  double precision = 0.0;
+  double time_limit_s = 0.0;
+
+  std::string error;  ///< non-empty iff status is kInvalid or kError
+
+  [[nodiscard]] bool operator==(const RunRecord&) const = default;
+};
+
+}  // namespace setsched::expt

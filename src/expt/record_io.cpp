@@ -1,0 +1,329 @@
+#include "expt/record_io.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#include "common/check.h"
+#include "common/format.h"
+
+namespace setsched::expt {
+
+namespace {
+
+// --- writing ---------------------------------------------------------------
+
+void write_double(std::ostream& os, double v) {
+  write_finite_double(os, v, "record_io RunRecord");
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// --- reading ---------------------------------------------------------------
+
+/// Cursor over one JSONL line. Only the flat {"key": string-or-number, ...}
+/// shape emitted by write_jsonl() is accepted; anything else is a loud
+/// CheckError naming the offending line.
+struct LineParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw CheckError("record_io: " + why + " in JSONL line '" +
+                     std::string(text) + "'");
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t')) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("dangling escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          const auto [end, ec] = std::from_chars(
+              text.data() + pos, text.data() + pos + 4, code, 16);
+          if (ec != std::errc{} || end != text.data() + pos + 4) {
+            fail("bad \\u escape");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          pos += 4;
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+  /// A bare numeric token, terminated by ',' or '}'.
+  std::string_view parse_number_token() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           text[pos] != ' ' && text[pos] != '\t') {
+      ++pos;
+    }
+    if (pos == start) fail("empty value");
+    return text.substr(start, pos - start);
+  }
+};
+
+double to_double(std::string_view token, const LineParser& p) {
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    p.fail("bad number '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+template <typename Int>
+Int to_integer(std::string_view token, const LineParser& p) {
+  Int value = 0;
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    p.fail("bad integer '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+RunRecord parse_record_line(std::string_view line) {
+  LineParser p{line};
+  RunRecord r;
+  // Bitmask of the 17 required keys, in write_jsonl() order.
+  unsigned seen = 0;
+  const auto mark = [&](unsigned bit) {
+    if (seen & (1u << bit)) p.fail("duplicate key");
+    seen |= 1u << bit;
+  };
+
+  p.expect('{');
+  bool first = true;
+  while (p.peek() != '}') {
+    if (!first) p.expect(',');
+    first = false;
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "solver") {
+      mark(0), r.solver = p.parse_string();
+    } else if (key == "preset") {
+      mark(1), r.preset = p.parse_string();
+    } else if (key == "seed") {
+      mark(2), r.seed = to_integer<std::uint64_t>(p.parse_number_token(), p);
+    } else if (key == "cell_seed") {
+      mark(3), r.cell_seed = to_integer<std::uint64_t>(p.parse_number_token(), p);
+    } else if (key == "n") {
+      mark(4), r.num_jobs = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "m") {
+      mark(5), r.num_machines = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "classes") {
+      mark(6), r.num_classes = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "status") {
+      mark(7), r.status = run_status_from_name(p.parse_string());
+    } else if (key == "makespan") {
+      mark(8), r.makespan = to_double(p.parse_number_token(), p);
+    } else if (key == "lower_bound") {
+      mark(9), r.lower_bound = to_double(p.parse_number_token(), p);
+    } else if (key == "ratio") {
+      mark(10), r.ratio = to_double(p.parse_number_token(), p);
+    } else if (key == "setups") {
+      mark(11), r.setups = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "time_ms") {
+      mark(12), r.time_ms = to_double(p.parse_number_token(), p);
+    } else if (key == "epsilon") {
+      mark(13), r.epsilon = to_double(p.parse_number_token(), p);
+    } else if (key == "precision") {
+      mark(14), r.precision = to_double(p.parse_number_token(), p);
+    } else if (key == "time_limit_s") {
+      mark(15), r.time_limit_s = to_double(p.parse_number_token(), p);
+    } else if (key == "error") {
+      mark(16), r.error = p.parse_string();
+    } else {
+      p.fail("unknown key '" + key + "'");
+    }
+  }
+  p.expect('}');
+  if (!p.at_end()) p.fail("trailing content");
+  if (seen != (1u << 17) - 1) p.fail("missing keys");
+  return r;
+}
+
+// --- CSV -------------------------------------------------------------------
+
+void write_csv_field(std::ostream& os, std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (const char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string_view run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kSkipped: return "skipped";
+    case RunStatus::kInvalid: return "invalid";
+    case RunStatus::kError: return "error";
+  }
+  throw CheckError("unknown RunStatus value");
+}
+
+RunStatus run_status_from_name(std::string_view name) {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "skipped") return RunStatus::kSkipped;
+  if (name == "invalid") return RunStatus::kInvalid;
+  if (name == "error") return RunStatus::kError;
+  throw CheckError("unknown run status '" + std::string(name) + "'");
+}
+
+void write_jsonl(std::ostream& os, const RunRecord& r) {
+  os << "{\"solver\":";
+  write_json_string(os, r.solver);
+  os << ",\"preset\":";
+  write_json_string(os, r.preset);
+  os << ",\"seed\":" << r.seed;
+  os << ",\"cell_seed\":" << r.cell_seed;
+  os << ",\"n\":" << r.num_jobs;
+  os << ",\"m\":" << r.num_machines;
+  os << ",\"classes\":" << r.num_classes;
+  os << ",\"status\":";
+  write_json_string(os, run_status_name(r.status));
+  os << ",\"makespan\":";
+  write_double(os, r.makespan);
+  os << ",\"lower_bound\":";
+  write_double(os, r.lower_bound);
+  os << ",\"ratio\":";
+  write_double(os, r.ratio);
+  os << ",\"setups\":" << r.setups;
+  os << ",\"time_ms\":";
+  write_double(os, r.time_ms);
+  os << ",\"epsilon\":";
+  write_double(os, r.epsilon);
+  os << ",\"precision\":";
+  write_double(os, r.precision);
+  os << ",\"time_limit_s\":";
+  write_double(os, r.time_limit_s);
+  os << ",\"error\":";
+  write_json_string(os, r.error);
+  os << "}\n";
+}
+
+void write_jsonl(std::ostream& os, std::span<const RunRecord> records) {
+  for (const RunRecord& r : records) write_jsonl(os, r);
+}
+
+std::vector<RunRecord> read_jsonl(std::istream& is) {
+  std::vector<RunRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string_view view = line;
+    while (!view.empty() && (view.back() == '\r' || view.back() == ' ')) {
+      view.remove_suffix(1);
+    }
+    if (view.empty()) continue;
+    records.push_back(parse_record_line(view));
+  }
+  return records;
+}
+
+void write_csv(std::ostream& os, std::span<const RunRecord> records) {
+  os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
+        "lower_bound,ratio,setups,time_ms,epsilon,precision,time_limit_s,"
+        "error\n";
+  for (const RunRecord& r : records) {
+    write_csv_field(os, r.solver);
+    os << ',';
+    write_csv_field(os, r.preset);
+    os << ',' << r.seed << ',' << r.cell_seed << ',' << r.num_jobs << ','
+       << r.num_machines << ',' << r.num_classes << ','
+       << run_status_name(r.status) << ',';
+    write_double(os, r.makespan);
+    os << ',';
+    write_double(os, r.lower_bound);
+    os << ',';
+    write_double(os, r.ratio);
+    os << ',' << r.setups << ',';
+    write_double(os, r.time_ms);
+    os << ',';
+    write_double(os, r.epsilon);
+    os << ',';
+    write_double(os, r.precision);
+    os << ',';
+    write_double(os, r.time_limit_s);
+    os << ',';
+    write_csv_field(os, r.error);
+    os << '\n';
+  }
+}
+
+}  // namespace setsched::expt

@@ -145,7 +145,13 @@ LpSearchResult search_assignment_lp(const Instance& instance, double precision,
   check(precision > 0.0, "precision must be positive");
   LpSearchResult out;
 
-  double lo = assignment_lp_floor(instance);
+  // Seed the left endpoint with the setup-aware combinatorial bound from
+  // core/bounds as well: it dominates the setup-blind LP floor whenever
+  // setups matter, shrinking the [lo, hi] window and so the number of
+  // simplex solves the geometric search needs (the unrelated-medium hot
+  // path). Both seeds are lower bounds on OPT, so `lo` stays one.
+  double lo = std::max(assignment_lp_floor(instance),
+                       unrelated_lower_bound(instance));
   double hi = unrelated_upper_bound(instance);
   check(hi >= lo * 0.999999, "upper bound below LP floor");
   lo = std::min(lo, hi);

@@ -42,11 +42,14 @@ struct AssignmentLpOptions {
 [[nodiscard]] double assignment_lp_floor(const Instance& instance);
 
 /// Finds (by geometric binary search) a window [lo, hi] with hi/lo <= 1+prec
-/// where LP(hi) is feasible and lo is infeasible-or-floor; returns the
-/// fractional solution at hi. `lo` is a valid lower bound on OPT.
+/// where LP(hi) is feasible and lo is LP-infeasible or a combinatorial bound
+/// (the search starts from max(assignment_lp_floor, unrelated_lower_bound));
+/// returns the fractional solution at hi. `lo` is a valid lower bound on OPT
+/// (though the plain LP relaxation may already be feasible below the
+/// setup-aware combinatorial seed).
 struct LpSearchResult {
   double feasible_T = 0.0;    ///< hi: LP feasible here (solution below)
-  double lower_bound = 0.0;   ///< lo: OPT (and the LP optimum) is >= this
+  double lower_bound = 0.0;   ///< lo: OPT is >= this
   FractionalAssignment fractional;
   std::size_t lp_solves = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -166,6 +167,33 @@ TEST(Stats, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Empty input and out-of-range q (including NaN) are loud CheckErrors;
+  // a single-element sample is that element for every valid q.
+  EXPECT_THROW((void)percentile({}, 0.5), CheckError);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.0);
+  EXPECT_THROW((void)percentile(one, -0.1), CheckError);
+  EXPECT_THROW((void)percentile(one, 1.1), CheckError);
+  EXPECT_THROW((void)percentile(one, std::numeric_limits<double>::quiet_NaN()),
+               CheckError);
+}
+
+TEST(Stats, MeanAndMaxValue) {
+  const std::vector<double> v{2.0, 8.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 8.0);
+  // Both are defined (0.0) on empty samples, so aggregators may call them on
+  // failure-filtered buckets without guarding.
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_value({}), 0.0);
+  const std::vector<double> one{-3.5};
+  EXPECT_DOUBLE_EQ(mean(one), -3.5);
+  EXPECT_DOUBLE_EQ(max_value(one), -3.5);
+}
+
 TEST(Stats, GeometricMean) {
   const std::vector<double> v{1.0, 4.0};
   EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
@@ -217,6 +245,28 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     pool.parallel_for(0, 50, [&](std::size_t) { sum++; });
   }
   EXPECT_EQ(sum.load(), 250);
+}
+
+TEST(ThreadPool, ParallelForDynamicCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for_dynamic(0, hits.size(),
+                            [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForDynamicEmptyRangeAndException) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_dynamic(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_THROW(
+      pool.parallel_for_dynamic(
+          0, 10,
+          [&](std::size_t i) {
+            if (i == 3) throw std::runtime_error("task failed");
+          }),
+      std::runtime_error);
 }
 
 TEST(Table, PrintsAlignedColumns) {

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "common/check.h"
+#include "expt/aggregate.h"
+#include "expt/harness.h"
+#include "expt/plan.h"
+#include "expt/record_io.h"
+
+namespace setsched::expt {
+namespace {
+
+// --- plan parsing ----------------------------------------------------------
+
+TEST(ExptPlan, ParsesKeyValueFile) {
+  std::istringstream is(
+      "# a tiny sweep\n"
+      "presets = uniform-small, unrelated-small\n"
+      "solvers = greedy, lpt   # trailing comment\n"
+      "seeds = 2..4\n"
+      "epsilon = 0.25\n"
+      "precision = 0.1\n"
+      "time_limit_s = 2.5\n"
+      "threads = 3\n"
+      "timing = off\n");
+  const ExperimentPlan plan = parse_plan(is);
+  EXPECT_EQ(plan.presets,
+            (std::vector<std::string>{"uniform-small", "unrelated-small"}));
+  EXPECT_EQ(plan.solvers, (std::vector<std::string>{"greedy", "lpt"}));
+  EXPECT_EQ(plan.seed_begin, 2u);
+  EXPECT_EQ(plan.seed_end, 4u);
+  EXPECT_DOUBLE_EQ(plan.epsilon, 0.25);
+  EXPECT_DOUBLE_EQ(plan.precision, 0.1);
+  EXPECT_DOUBLE_EQ(plan.time_limit_s, 2.5);
+  EXPECT_EQ(plan.threads, 3u);
+  EXPECT_FALSE(plan.record_timing);
+  EXPECT_EQ(plan.num_seeds(), 3u);
+  EXPECT_EQ(plan.num_cells(), 2u * 3u * 2u);
+}
+
+TEST(ExptPlan, SolversAllExpandsToRegistry) {
+  std::istringstream is(
+      "presets = uniform-small\n"
+      "solvers = all\n");
+  const ExperimentPlan plan = parse_plan(is);
+  EXPECT_EQ(plan.solvers, SolverRegistry::global().names());
+}
+
+TEST(ExptPlan, SeedRangeForms) {
+  std::uint64_t begin = 0, end = 0;
+  parse_seed_range("5", &begin, &end);
+  EXPECT_EQ(begin, 1u);
+  EXPECT_EQ(end, 5u);
+  parse_seed_range(" 7 .. 9 ", &begin, &end);
+  EXPECT_EQ(begin, 7u);
+  EXPECT_EQ(end, 9u);
+  EXPECT_THROW(parse_seed_range("9..7", &begin, &end), CheckError);
+  EXPECT_THROW(parse_seed_range("0", &begin, &end), CheckError);
+  EXPECT_THROW(parse_seed_range("abc", &begin, &end), CheckError);
+  EXPECT_THROW(parse_seed_range("", &begin, &end), CheckError);
+}
+
+TEST(ExptPlan, RejectsMalformedFiles) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return parse_plan(is);
+  };
+  EXPECT_THROW(parse("presets = uniform-small\nwat = 1\n"), CheckError);
+  EXPECT_THROW(parse("presets uniform-small\n"), CheckError);
+  EXPECT_THROW(parse("presets = no-such-preset\nsolvers = greedy\n"),
+               CheckError);
+  EXPECT_THROW(parse("presets = uniform-small\nsolvers = no-such-solver\n"),
+               CheckError);
+  EXPECT_THROW(parse("presets = uniform-small\n"), CheckError);  // no solvers
+  EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
+                     "timing = sometimes\n"),
+               CheckError);
+  EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
+                     "epsilon = -1\n"),
+               CheckError);
+}
+
+TEST(ExptPlan, CellKeyOrderIsPresetSeedSolver) {
+  ExperimentPlan plan;
+  plan.presets = {"uniform-small", "unrelated-small"};
+  plan.solvers = {"greedy", "lpt", "best-machine"};
+  plan.seed_begin = 3;
+  plan.seed_end = 4;
+  ASSERT_EQ(plan.num_cells(), 12u);
+  std::size_t cell = 0;
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::uint64_t s = 3; s <= 4; ++s) {
+      for (std::size_t v = 0; v < 3; ++v, ++cell) {
+        const CellKey key = cell_key(plan, cell);
+        EXPECT_EQ(key.preset, p);
+        EXPECT_EQ(key.seed, s);
+        EXPECT_EQ(key.solver, v);
+        EXPECT_EQ(key.point, p * 2 + (s - 3));
+      }
+    }
+  }
+}
+
+TEST(ExptPlan, CellSeedDependsOnEveryComponent) {
+  const std::uint64_t base = cell_seed("uniform-small", 1, "greedy");
+  EXPECT_EQ(base, cell_seed("uniform-small", 1, "greedy"));  // deterministic
+  EXPECT_NE(base, cell_seed("unrelated-small", 1, "greedy"));
+  EXPECT_NE(base, cell_seed("uniform-small", 2, "greedy"));
+  EXPECT_NE(base, cell_seed("uniform-small", 1, "lpt"));
+}
+
+// --- record IO -------------------------------------------------------------
+
+RunRecord sample_record() {
+  RunRecord r;
+  r.solver = "greedy";
+  r.preset = "uniform-small";
+  r.seed = 7;
+  r.cell_seed = 123456789012345ULL;
+  r.num_jobs = 20;
+  r.num_machines = 4;
+  r.num_classes = 4;
+  r.status = RunStatus::kOk;
+  r.makespan = 58.32713820362053;
+  r.lower_bound = 21.702411671642682;
+  r.ratio = r.makespan / r.lower_bound;
+  r.setups = 9;
+  r.time_ms = 0.125;
+  r.epsilon = 0.5;
+  r.precision = 0.05;
+  r.time_limit_s = 10.0;
+  return r;
+}
+
+TEST(ExptRecordIo, JsonlRoundTripIsExact) {
+  std::vector<RunRecord> records{sample_record(), sample_record()};
+  records[1].status = RunStatus::kError;
+  records[1].makespan = 0.0;
+  records[1].ratio = 0.0;
+  records[1].error = "quote \" backslash \\ newline \n tab \t ctrl \x01 end";
+
+  std::stringstream stream;
+  write_jsonl(stream, records);
+  const std::vector<RunRecord> back = read_jsonl(stream);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], records[0]);
+  EXPECT_EQ(back[1], records[1]);
+}
+
+TEST(ExptRecordIo, ReadAcceptsBlankLinesAndAnyKeyOrder) {
+  std::stringstream stream;
+  write_jsonl(stream, sample_record());
+  std::string line = stream.str();
+  // Move the trailing "error" pair to the front: key order must not matter.
+  line = "{\"error\":\"\"," + line.substr(1);
+  line.erase(line.rfind(",\"error\":\"\""), 11);
+  std::istringstream shuffled("\n" + line + "\n\n");
+  const std::vector<RunRecord> back = read_jsonl(shuffled);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], sample_record());
+}
+
+TEST(ExptRecordIo, ReadRejectsMalformedLines) {
+  const auto read = [](const std::string& text) {
+    std::istringstream is(text);
+    return read_jsonl(is);
+  };
+  std::stringstream good;
+  write_jsonl(good, sample_record());
+  const std::string line = good.str();
+
+  EXPECT_THROW(read("{\"solver\":\"x\"}"), CheckError);  // missing keys
+  EXPECT_THROW(read("not json"), CheckError);
+  EXPECT_THROW(read(line.substr(0, line.size() - 3)), CheckError);  // truncated
+  std::string unknown = line;
+  unknown.insert(1, "\"bogus\":1,");
+  EXPECT_THROW(read(unknown), CheckError);
+  std::string bad_status = line;
+  const std::size_t at = bad_status.find("\"ok\"");
+  ASSERT_NE(at, std::string::npos);
+  bad_status.replace(at, 4, "\"??\"");
+  EXPECT_THROW(read(bad_status), CheckError);
+}
+
+TEST(ExptRecordIo, CsvHeaderAndQuoting) {
+  RunRecord r = sample_record();
+  r.status = RunStatus::kInvalid;
+  r.error = "bad, \"quoted\" value";
+  std::ostringstream os;
+  write_csv(os, std::vector<RunRecord>{r});
+  const std::string out = os.str();
+  EXPECT_EQ(out.substr(0, out.find('\n')),
+            "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
+            "lower_bound,ratio,setups,time_ms,epsilon,precision,time_limit_s,"
+            "error");
+  EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
+}
+
+// --- harness ---------------------------------------------------------------
+
+ExperimentPlan small_plan(std::size_t threads) {
+  ExperimentPlan plan;
+  plan.presets = {"uniform-small", "unrelated-small"};
+  plan.solvers = {"greedy", "lpt", "local-search"};
+  plan.seed_begin = 1;
+  plan.seed_end = 2;
+  plan.threads = threads;
+  plan.record_timing = false;  // the one thread-count-dependent field
+  return plan;
+}
+
+TEST(ExptHarness, SortedJsonlIsByteIdenticalAcrossThreadCounts) {
+  const std::vector<RunRecord> sequential = run_experiment(small_plan(1));
+  const std::vector<RunRecord> sharded = run_experiment(small_plan(4));
+  EXPECT_EQ(sequential, sharded);
+
+  const auto to_sorted_jsonl = [](const std::vector<RunRecord>& records) {
+    std::stringstream stream;
+    write_jsonl(stream, records);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(stream, line);) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const std::string& line : lines) out += line + "\n";
+    return out;
+  };
+  EXPECT_EQ(to_sorted_jsonl(sequential), to_sorted_jsonl(sharded));
+}
+
+TEST(ExptHarness, RecordsCarryCellKeysStatusesAndBounds) {
+  const ExperimentPlan plan = small_plan(2);
+  const std::vector<RunRecord> records = run_experiment(plan);
+  ASSERT_EQ(records.size(), plan.num_cells());
+  for (std::size_t c = 0; c < records.size(); ++c) {
+    const CellKey key = cell_key(plan, c);
+    const RunRecord& r = records[c];
+    EXPECT_EQ(r.preset, plan.presets[key.preset]);
+    EXPECT_EQ(r.solver, plan.solvers[key.solver]);
+    EXPECT_EQ(r.seed, key.seed);
+    EXPECT_EQ(r.cell_seed, cell_seed(r.preset, r.seed, r.solver));
+    EXPECT_GT(r.num_jobs, 0u);
+    EXPECT_GT(r.num_machines, 0u);
+    EXPECT_GT(r.lower_bound, 0.0);
+    EXPECT_DOUBLE_EQ(r.time_ms, 0.0);
+    if (r.solver == "lpt") {
+      // The uniform-only solver must be skipped on the unrelated preset.
+      EXPECT_EQ(r.status, r.preset == "uniform-small" ? RunStatus::kOk
+                                                      : RunStatus::kSkipped);
+    } else {
+      EXPECT_EQ(r.status, RunStatus::kOk);
+    }
+    if (r.status == RunStatus::kOk) {
+      // The lower bound is genuine, so validated makespans sit above it.
+      EXPECT_GE(r.ratio, 1.0 - 1e-9);
+      EXPECT_NEAR(r.ratio, r.makespan / r.lower_bound, 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+      EXPECT_TRUE(r.error.empty());
+    }
+  }
+}
+
+// --- aggregation -----------------------------------------------------------
+
+RunRecord bucket_record(const std::string& solver, const std::string& preset,
+                        RunStatus status, double ratio, double time_ms) {
+  RunRecord r;
+  r.solver = solver;
+  r.preset = preset;
+  r.status = status;
+  r.ratio = ratio;
+  r.time_ms = time_ms;
+  return r;
+}
+
+TEST(ExptAggregate, MatchesHandComputedFixture) {
+  const std::vector<RunRecord> records{
+      // zeta/p1: ratios {1.0, 1.5, 2.0}, times {10, 20, 30}, 1 skip, 1 error.
+      bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0),
+      bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0),
+      bucket_record("zeta", "p1", RunStatus::kOk, 2.0, 30.0),
+      bucket_record("zeta", "p1", RunStatus::kSkipped, 0.0, 0.0),
+      bucket_record("zeta", "p1", RunStatus::kError, 0.0, 0.0),
+      // alpha/p2: every cell failed -> zeroed statistics, not UB or a throw.
+      bucket_record("alpha", "p2", RunStatus::kInvalid, 0.0, 0.0),
+      // alpha/p1: single ok cell -> every statistic equals that cell.
+      bucket_record("alpha", "p1", RunStatus::kOk, 1.25, 5.0),
+  };
+  const std::vector<AggregateSummary> summaries = aggregate(records);
+  ASSERT_EQ(summaries.size(), 3u);
+
+  // Sorted by (solver, preset): alpha/p1, alpha/p2, zeta/p1.
+  EXPECT_EQ(summaries[0].solver, "alpha");
+  EXPECT_EQ(summaries[0].preset, "p1");
+  EXPECT_EQ(summaries[0].cells, 1u);
+  EXPECT_EQ(summaries[0].ok, 1u);
+  EXPECT_DOUBLE_EQ(summaries[0].ratio_mean, 1.25);
+  EXPECT_DOUBLE_EQ(summaries[0].ratio_max, 1.25);
+  EXPECT_DOUBLE_EQ(summaries[0].time_p50_ms, 5.0);
+  EXPECT_DOUBLE_EQ(summaries[0].time_p95_ms, 5.0);
+
+  EXPECT_EQ(summaries[1].solver, "alpha");
+  EXPECT_EQ(summaries[1].preset, "p2");
+  EXPECT_EQ(summaries[1].cells, 1u);
+  EXPECT_EQ(summaries[1].ok, 0u);
+  EXPECT_EQ(summaries[1].failed, 1u);
+  EXPECT_DOUBLE_EQ(summaries[1].ratio_mean, 0.0);
+  EXPECT_DOUBLE_EQ(summaries[1].ratio_max, 0.0);
+  EXPECT_DOUBLE_EQ(summaries[1].time_p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(summaries[1].time_p95_ms, 0.0);
+
+  EXPECT_EQ(summaries[2].solver, "zeta");
+  EXPECT_EQ(summaries[2].cells, 5u);
+  EXPECT_EQ(summaries[2].ok, 3u);
+  EXPECT_EQ(summaries[2].skipped, 1u);
+  EXPECT_EQ(summaries[2].failed, 1u);
+  EXPECT_DOUBLE_EQ(summaries[2].ratio_mean, 1.5);
+  EXPECT_DOUBLE_EQ(summaries[2].ratio_max, 2.0);
+  EXPECT_DOUBLE_EQ(summaries[2].time_p50_ms, 20.0);
+  // percentile([10,20,30], 0.95): position 1.9 -> 20 * 0.1 + 30 * 0.9 = 29.
+  EXPECT_NEAR(summaries[2].time_p95_ms, 29.0, 1e-12);
+}
+
+TEST(ExptAggregate, SummaryTableHasOneRowPerBucket) {
+  const std::vector<RunRecord> records{
+      bucket_record("a", "p", RunStatus::kOk, 1.0, 1.0),
+      bucket_record("b", "p", RunStatus::kOk, 1.0, 1.0),
+  };
+  const Table table = summary_table(aggregate(records));
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(ExptAggregate, BenchJsonContainsPlanCountsAndSummaries) {
+  ExperimentPlan plan;
+  plan.presets = {"uniform-small"};
+  plan.solvers = {"greedy", "lpt"};
+  plan.seed_begin = 1;
+  plan.seed_end = 3;
+  const std::vector<RunRecord> records{
+      bucket_record("greedy", "uniform-small", RunStatus::kOk, 1.5, 2.0),
+      bucket_record("lpt", "uniform-small", RunStatus::kSkipped, 0.0, 0.0),
+  };
+  std::ostringstream os;
+  write_bench_json(os, plan, aggregate(records));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"bench\": \"expt\""), std::string::npos);
+  EXPECT_NE(out.find("\"presets\": [\"uniform-small\"]"), std::string::npos);
+  EXPECT_NE(out.find("\"solvers\": [\"greedy\",\"lpt\"]"), std::string::npos);
+  EXPECT_NE(out.find("\"cells\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"skipped\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"ratio_mean\": 1.5"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
+}  // namespace
+}  // namespace setsched::expt
