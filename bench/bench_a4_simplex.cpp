@@ -1,7 +1,12 @@
 // A4 — micro-benchmarks of the LP substrate (google-benchmark): random
-// dense LPs and the scheduling LPs the algorithms actually build.
+// dense LPs and the scheduling LPs the algorithms actually build, with the
+// dense tableau pinned against the sparse revised simplex and the
+// assignment-LP T-search measured cold (fresh model per probe) vs warm
+// (one parametric model, basis chained across probes).
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
 
 #include "common/prng.h"
 #include "core/bounds.h"
@@ -13,6 +18,13 @@
 using namespace setsched;
 
 namespace {
+
+lp::SimplexOptions algorithm_options(std::int64_t which) {
+  lp::SimplexOptions options;
+  options.algorithm = which == 0 ? lp::SimplexAlgorithm::kTableau
+                                 : lp::SimplexAlgorithm::kRevised;
+  return options;
+}
 
 lp::Model random_dense_lp(std::size_t vars, std::size_t cons, std::uint64_t seed) {
   Xoshiro256 rng(seed);
@@ -31,16 +43,21 @@ lp::Model random_dense_lp(std::size_t vars, std::size_t cons, std::uint64_t seed
   return m;
 }
 
+/// Args: (vars, 0 = tableau / 1 = revised).
 void BM_SimplexDense(benchmark::State& state) {
   const auto vars = static_cast<std::size_t>(state.range(0));
   const auto model = random_dense_lp(vars, vars / 2, 42);
+  const lp::SimplexOptions options = algorithm_options(state.range(1));
   for (auto _ : state) {
-    const lp::Solution sol = lp::solve(model);
+    const lp::Solution sol = lp::solve(model, options);
     benchmark::DoNotOptimize(sol.objective);
   }
 }
-BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120);
+BENCHMARK(BM_SimplexDense)
+    ->Args({20, 0})->Args({60, 0})->Args({120, 0})
+    ->Args({20, 1})->Args({60, 1})->Args({120, 1});
 
+/// Args: (jobs, 0 = tableau / 1 = revised). One solve at the upper bound.
 void BM_AssignmentLp(benchmark::State& state) {
   UnrelatedGenParams p;
   p.num_jobs = static_cast<std::size_t>(state.range(0));
@@ -48,12 +65,60 @@ void BM_AssignmentLp(benchmark::State& state) {
   p.num_classes = 5;
   const Instance inst = generate_unrelated(p, 7);
   const double T = unrelated_upper_bound(inst);
+  AssignmentLpOptions options;
+  options.simplex = algorithm_options(state.range(1));
   for (auto _ : state) {
-    const auto frac = solve_assignment_lp(inst, T);
+    const auto frac = solve_assignment_lp(inst, T, options);
     benchmark::DoNotOptimize(frac.has_value());
   }
 }
-BENCHMARK(BM_AssignmentLp)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_AssignmentLp)
+    ->Args({16, 0})->Args({32, 0})->Args({64, 0})
+    ->Args({16, 1})->Args({32, 1})->Args({64, 1});
+
+/// The geometric T-search solved the pre-PR-3 way: a fresh model and a cold
+/// revised solve per probe (no warm starting, no re-parameterization).
+void BM_AssignmentLpSearchCold(benchmark::State& state) {
+  UnrelatedGenParams p;
+  p.num_jobs = static_cast<std::size_t>(state.range(0));
+  p.num_machines = 4;
+  p.num_classes = 5;
+  p.eligibility = 0.8;
+  const Instance inst = generate_unrelated(p, 11);
+  for (auto _ : state) {
+    double lo = std::max(assignment_lp_floor(inst), unrelated_lower_bound(inst));
+    double hi = unrelated_upper_bound(inst);
+    lo = std::min(lo, hi);
+    auto best = solve_assignment_lp(inst, hi);
+    while (hi / lo > 1.05) {
+      const double mid = std::sqrt(lo * hi);
+      if (auto sol = solve_assignment_lp(inst, mid)) {
+        hi = mid;
+        best = std::move(sol);
+      } else {
+        lo = mid;
+      }
+    }
+    benchmark::DoNotOptimize(best.has_value());
+  }
+}
+BENCHMARK(BM_AssignmentLpSearchCold)->Arg(32)->Arg(64)->Arg(120);
+
+/// The same search through search_assignment_lp: model built once at hi,
+/// every probe warm-started from the previous basis.
+void BM_AssignmentLpSearchWarm(benchmark::State& state) {
+  UnrelatedGenParams p;
+  p.num_jobs = static_cast<std::size_t>(state.range(0));
+  p.num_machines = 4;
+  p.num_classes = 5;
+  p.eligibility = 0.8;
+  const Instance inst = generate_unrelated(p, 11);
+  for (auto _ : state) {
+    const LpSearchResult r = search_assignment_lp(inst, 0.05);
+    benchmark::DoNotOptimize(r.feasible_T);
+  }
+}
+BENCHMARK(BM_AssignmentLpSearchWarm)->Arg(32)->Arg(64)->Arg(120);
 
 void BM_RelaxedRaLp(benchmark::State& state) {
   RestrictedGenParams p;

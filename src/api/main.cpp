@@ -58,7 +58,7 @@ void print_usage(std::ostream& os) {
      << "       setsched_cli (--solver=<name> ... | --all)\n"
      << "                    (--instance=<file> | --generate=<preset>)\n"
      << "                    [--seed=N] [--epsilon=E] [--precision=P]\n"
-     << "                    [--time-limit=S] [--csv]\n"
+     << "                    [--time-limit=S] [--lp=auto|tableau|revised] [--csv]\n"
      << "       setsched_cli --batch (--solver=<name> ... | --all)\n"
      << "                    --generate=<preset,...> [--seeds=N | --seeds=A..B]\n"
      << "                    [--threads=N] [--jsonl=PATH] [--no-timing]\n"
@@ -110,6 +110,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         options.context.precision = std::stod(value);
       } else if (consume(arg, "--time-limit", &value)) {
         options.context.time_limit_s = std::stod(value);
+      } else if (consume(arg, "--lp", &value)) {
+        options.context.lp_algorithm = expt::lp_algorithm_from_name(value);
       } else {
         std::cerr << "setsched_cli: unknown argument '" << arg << "'\n";
         return std::nullopt;
@@ -258,6 +260,7 @@ int run_batch(const CliOptions& options) {
   plan.epsilon = options.context.epsilon;
   plan.precision = options.context.precision;
   plan.time_limit_s = options.context.time_limit_s;
+  plan.lp_algorithm = options.context.lp_algorithm;
   plan.threads = options.threads;
   plan.record_timing = options.record_timing;
   plan.validate();

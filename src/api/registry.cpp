@@ -51,10 +51,12 @@ class FunctionSolver final : public Solver {
 
 /// Re-evaluates the schedule on the matrix form so every solver's makespan
 /// is computed by the same code path (makes results comparable and lets the
-/// tests assert makespan consistency).
-ScheduleResult finish(const Instance& instance, Schedule schedule) {
+/// tests assert makespan consistency); LP-based solvers pass their effort
+/// counters through.
+ScheduleResult finish(const Instance& instance, Schedule schedule,
+                      SolverStats stats = {}) {
   const double value = makespan(instance, schedule);
-  return ScheduleResult{std::move(schedule), value};
+  return ScheduleResult{std::move(schedule), value, stats};
 }
 
 bool has_uniform(const ProblemInput& input) { return input.uniform.has_value(); }
@@ -71,6 +73,7 @@ RoundingOptions rounding_options(const SolverContext& context) {
   RoundingOptions options;
   options.seed = context.seed;
   options.search_precision = context.precision;
+  options.lp.simplex.algorithm = context.lp_algorithm;
   options.pool = context.pool;
   return options;
 }
@@ -119,37 +122,49 @@ void register_builtin_solvers(SolverRegistry& registry) {
   // -- Unrelated machines (Section 3.1) ------------------------------------
   add("assignment-lp", nullptr,
       [](const ProblemInput& input, const SolverContext& context) {
-        return finish(
-            input.instance,
-            argmax_rounding(input.instance, context.precision).schedule);
+        AssignmentLpOptions options;
+        options.simplex.algorithm = context.lp_algorithm;
+        ScheduleResult result =
+            argmax_rounding(input.instance, context.precision, options);
+        return finish(input.instance, std::move(result.schedule),
+                      result.stats);
       });
   add("rounding", nullptr,
       [](const ProblemInput& input, const SolverContext& context) {
         const RoundingResult result =
             randomized_rounding(input.instance, rounding_options(context));
-        return finish(input.instance, result.schedule);
+        return finish(input.instance, result.schedule,
+                      {result.lp_solves, result.lp_iterations});
       });
   add("colgen", nullptr,
       [](const ProblemInput& input, const SolverContext& context) {
         ConfigLpOptions config;
         config.pool = context.pool;
+        config.simplex.algorithm = context.lp_algorithm;
         const RoundingResult result = randomized_rounding_config(
             input.instance, rounding_options(context), config);
-        return finish(input.instance, result.schedule);
+        return finish(input.instance, result.schedule,
+                      {result.lp_solves, result.lp_iterations});
       });
 
   // -- Special structures (Section 3.3) ------------------------------------
   add("restricted-2approx", is_restricted,
       [](const ProblemInput& input, const SolverContext& context) {
+        lp::SimplexOptions simplex;
+        simplex.algorithm = context.lp_algorithm;
         const ConstantApproxResult result =
-            two_approx_restricted(input.instance, context.precision);
-        return finish(input.instance, result.schedule);
+            two_approx_restricted(input.instance, context.precision, simplex);
+        return finish(input.instance, result.schedule,
+                      {result.lp_solves, result.lp_iterations});
       });
   add("classuniform-3approx", is_class_uniform,
       [](const ProblemInput& input, const SolverContext& context) {
-        const ConstantApproxResult result =
-            three_approx_class_uniform(input.instance, context.precision);
-        return finish(input.instance, result.schedule);
+        lp::SimplexOptions simplex;
+        simplex.algorithm = context.lp_algorithm;
+        const ConstantApproxResult result = three_approx_class_uniform(
+            input.instance, context.precision, simplex);
+        return finish(input.instance, result.schedule,
+                      {result.lp_solves, result.lp_iterations});
       });
 
   // -- Exact and improvement -----------------------------------------------

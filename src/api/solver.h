@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/instance.h"
 #include "core/result.h"
+#include "lp/simplex.h"
 
 namespace setsched {
 
@@ -33,6 +34,10 @@ struct SolverContext {
   double precision = 0.05;
   /// Wall-clock budget for the exact branch-and-bound.
   double time_limit_s = 10.0;
+  /// Simplex implementation for the LP-based solvers (kAuto = the sparse
+  /// revised path with warm starts; kTableau forces the dense reference
+  /// oracle, which is what pre-PR-3 behavior looked like end to end).
+  lp::SimplexAlgorithm lp_algorithm = lp::SimplexAlgorithm::kAuto;
   /// Optional pool for intra-solver parallelism (rounding trials, colgen
   /// pricing). Null means sequential.
   ThreadPool* pool = nullptr;

@@ -140,6 +140,28 @@ ConfigLpResult solve_config_lp(const Instance& instance, double T,
   std::vector<double> dual_job(n, 1.0);   // pricing duals; 1.0 seeds round 0
   std::vector<double> dual_machine(m, 0.0);
 
+  // The restricted master is built ONCE (u variables, job rows, machine
+  // rows) and only grows: each round appends the newly priced configuration
+  // columns and re-solves warm-started from the previous round's basis, so
+  // late rounds cost a handful of simplex iterations instead of a full
+  // cold solve over every column generated so far.
+  lp::Model rmp(lp::Objective::kMaximize);
+  std::vector<std::size_t> u_var(n);
+  for (JobId j = 0; j < n; ++j) u_var[j] = rmp.add_variable(0.0, 1.0, 1.0);
+  // u_j - Σ_{c ∋ j} z_c <= 0 per job (z entries appended as columns arrive).
+  std::vector<std::size_t> job_row_index(n);
+  for (JobId j = 0; j < n; ++j) {
+    job_row_index[j] =
+        rmp.add_constraint({{u_var[j], 1.0}}, lp::Sense::kLessEqual, 0.0);
+  }
+  // Σ_c z_{i,c} <= 1 per machine (rows start empty).
+  std::vector<std::size_t> machine_row_index(m);
+  for (MachineId i = 0; i < m; ++i) {
+    machine_row_index[i] = rmp.add_constraint({}, lp::Sense::kLessEqual, 1.0);
+  }
+  std::vector<std::size_t> z_var;
+  lp::Basis rmp_basis;
+
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.iterations = iter + 1;
 
@@ -162,6 +184,12 @@ ConfigLpResult solve_config_lp(const Instance& instance, double T,
       if (priced[i].jobs.empty()) continue;
       if (priced[i].value <= dual_machine[i] + options.tol) continue;
       added = true;
+      const std::size_t z = rmp.add_variable(0.0, 1.0, 0.0);
+      z_var.push_back(z);
+      for (const JobId j : priced[i].jobs) {
+        rmp.add_to_row(job_row_index[j], z, -1.0);
+      }
+      rmp.add_to_row(machine_row_index[i], z, 1.0);
       columns.push_back({i, std::move(priced[i].jobs)});
     }
     if (!added) {
@@ -172,40 +200,14 @@ ConfigLpResult solve_config_lp(const Instance& instance, double T,
       return out;
     }
 
-    // --- restricted master problem ---
-    lp::Model rmp(lp::Objective::kMaximize);
-    std::vector<std::size_t> u_var(n);
-    for (JobId j = 0; j < n; ++j) u_var[j] = rmp.add_variable(0.0, 1.0, 1.0);
-    std::vector<std::size_t> z_var(columns.size());
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      z_var[c] = rmp.add_variable(0.0, 1.0, 0.0);
-    }
-    // u_j - Σ_{c ∋ j} z_c <= 0 per job.
-    std::vector<std::vector<lp::Entry>> job_rows(n);
-    for (JobId j = 0; j < n; ++j) job_rows[j].push_back({u_var[j], 1.0});
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      for (const JobId j : columns[c].jobs) {
-        job_rows[j].push_back({z_var[c], -1.0});
-      }
-    }
-    std::vector<std::size_t> job_row_index(n);
-    for (JobId j = 0; j < n; ++j) {
-      job_row_index[j] =
-          rmp.add_constraint(std::move(job_rows[j]), lp::Sense::kLessEqual, 0.0);
-    }
-    // Σ_c z_{i,c} <= 1 per machine.
-    std::vector<std::vector<lp::Entry>> machine_rows(m);
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      machine_rows[columns[c].machine].push_back({z_var[c], 1.0});
-    }
-    std::vector<std::size_t> machine_row_index(m);
-    for (MachineId i = 0; i < m; ++i) {
-      machine_row_index[i] = rmp.add_constraint(std::move(machine_rows[i]),
-                                                lp::Sense::kLessEqual, 1.0);
-    }
-
-    const lp::Solution sol = lp::solve(rmp);
+    // --- restricted master problem (warm-started re-solve) ---
+    lp::SimplexOptions simplex = options.simplex;
+    if (!rmp_basis.empty()) simplex.warm_start = &rmp_basis;
+    const lp::Solution sol = lp::solve(rmp, simplex);
+    ++out.lp_solves;
+    out.simplex_iterations += sol.iterations;
     check(sol.optimal(), "RMP solve failed");
+    if (!sol.basis.empty()) rmp_basis = sol.basis;
     out.coverage = sol.objective;
 
     if (sol.objective >= static_cast<double>(n) - options.tol) {
@@ -273,12 +275,14 @@ RoundingResult randomized_rounding_config(const Instance& instance,
   // rejected; widen hi until the config LP accepts.
   ConfigLpResult at_hi = solve_config_lp(instance, hi, config);
   out.lp_solves = 1;
+  out.lp_iterations = at_hi.simplex_iterations;
   std::size_t widenings = 0;
   while (at_hi.status != ConfigLpStatus::kFeasible && widenings < 8) {
     hi *= 1.3;
     ++widenings;
     ++out.lp_solves;
     at_hi = solve_config_lp(instance, hi, config);
+    out.lp_iterations += at_hi.simplex_iterations;
   }
   check(at_hi.status == ConfigLpStatus::kFeasible,
         "config LP did not accept any upper bound");
@@ -288,6 +292,7 @@ RoundingResult randomized_rounding_config(const Instance& instance,
     const double mid = std::sqrt(lo * hi);
     ++out.lp_solves;
     ConfigLpResult probe = solve_config_lp(instance, mid, config);
+    out.lp_iterations += probe.simplex_iterations;
     if (probe.status == ConfigLpStatus::kFeasible) {
       hi = mid;
       best = std::move(probe.fractional);

@@ -28,6 +28,10 @@ struct ConfigLpOptions {
   double tol = 1e-6;
   /// Optional pool: pricing problems across machines run in parallel.
   ThreadPool* pool = nullptr;
+  /// Simplex knobs for the restricted master. The RMP model is built once
+  /// and grows by columns; each round's solve warm-starts from the previous
+  /// round's basis (revised path only).
+  lp::SimplexOptions simplex = {};
 };
 
 enum class ConfigLpStatus {
@@ -42,6 +46,8 @@ struct ConfigLpResult {
   double coverage = 0.0;            ///< final RMP objective (<= n)
   std::size_t columns = 0;
   std::size_t iterations = 0;
+  std::size_t lp_solves = 0;          ///< RMP solves (== rounds run)
+  std::size_t simplex_iterations = 0; ///< summed over all RMP solves
 };
 
 [[nodiscard]] ConfigLpResult solve_config_lp(const Instance& instance, double T,

@@ -1,14 +1,27 @@
 #pragma once
 
+#include <cstddef>
+
 #include "core/schedule.h"
 
 namespace setsched {
+
+/// Solver-level effort counters, reported alongside a schedule so perf work
+/// can compare algorithms by what they did (LP solves, simplex iterations),
+/// not just by wall clock. Zero for solvers without an LP substrate.
+struct SolverStats {
+  std::size_t lp_solves = 0;
+  std::size_t lp_iterations = 0;
+
+  [[nodiscard]] bool operator==(const SolverStats&) const = default;
+};
 
 /// Common return type of scheduling algorithms: a complete schedule plus its
 /// (already evaluated) makespan.
 struct ScheduleResult {
   Schedule schedule;
   double makespan = 0.0;
+  SolverStats stats;
 };
 
 }  // namespace setsched

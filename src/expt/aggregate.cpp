@@ -19,8 +19,10 @@ struct Bucket {
   std::size_t ok = 0;
   std::size_t skipped = 0;
   std::size_t failed = 0;
-  std::vector<double> ratios;    // ok cells only
-  std::vector<double> times_ms;  // ok cells only
+  std::vector<double> ratios;         // ok cells only
+  std::vector<double> times_ms;       // ok cells only
+  std::vector<double> lp_solves;      // ok cells only
+  std::vector<double> lp_iterations;  // ok cells only
 };
 
 void write_double(std::ostream& os, double v) {
@@ -48,6 +50,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
         ++bucket.ok;
         bucket.ratios.push_back(r.ratio);
         bucket.times_ms.push_back(r.time_ms);
+        bucket.lp_solves.push_back(static_cast<double>(r.lp_solves));
+        bucket.lp_iterations.push_back(static_cast<double>(r.lp_iterations));
         break;
       case RunStatus::kSkipped:
         ++bucket.skipped;
@@ -77,6 +81,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
       s.time_p50_ms = percentile(bucket.times_ms, 0.5);
       s.time_p95_ms = percentile(bucket.times_ms, 0.95);
     }
+    s.lp_solves_mean = mean(bucket.lp_solves);
+    s.lp_iterations_mean = mean(bucket.lp_iterations);
     summaries.push_back(std::move(s));
   }
   return summaries;  // std::map iterates keys in (solver, preset) order
@@ -84,7 +90,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
 
 Table summary_table(std::span<const AggregateSummary> summaries) {
   Table table({"solver", "preset", "cells", "ok", "skipped", "failed",
-               "ratio_mean", "ratio_max", "time_p50_ms", "time_p95_ms"});
+               "ratio_mean", "ratio_max", "time_p50_ms", "time_p95_ms",
+               "lp_solves", "lp_iters"});
   for (const AggregateSummary& s : summaries) {
     table.row()
         .add(s.solver)
@@ -96,7 +103,9 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.ratio_mean)
         .add(s.ratio_max)
         .add(s.time_p50_ms, 2)
-        .add(s.time_p95_ms, 2);
+        .add(s.time_p95_ms, 2)
+        .add(s.lp_solves_mean, 1)
+        .add(s.lp_iterations_mean, 1);
   }
   return table;
 }
@@ -123,6 +132,7 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
   write_double(os, plan.precision);
   os << ",\n    \"time_limit_s\": ";
   write_double(os, plan.time_limit_s);
+  os << ",\n    \"lp\": \"" << lp_algorithm_name(plan.lp_algorithm) << '"';
   os << "\n  },\n  \"cells\": " << cells << ",\n  \"ok\": " << ok
      << ",\n  \"skipped\": " << skipped << ",\n  \"failed\": " << failed
      << ",\n  \"summaries\": [";
@@ -139,6 +149,10 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
     write_double(os, s.time_p50_ms);
     os << ", \"time_p95_ms\": ";
     write_double(os, s.time_p95_ms);
+    os << ", \"lp_solves_mean\": ";
+    write_double(os, s.lp_solves_mean);
+    os << ", \"lp_iterations_mean\": ";
+    write_double(os, s.lp_iterations_mean);
     os << "}";
   }
   os << "\n  ]\n}\n";

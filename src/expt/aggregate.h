@@ -26,6 +26,10 @@ struct AggregateSummary {
   double ratio_max = 0.0;
   double time_p50_ms = 0.0;
   double time_p95_ms = 0.0;
+  /// Mean solver-level LP effort over the ok cells (0 for LP-free solvers),
+  /// so perf PRs can compare simplex work, not just wall clock.
+  double lp_solves_mean = 0.0;
+  double lp_iterations_mean = 0.0;
 
   [[nodiscard]] bool operator==(const AggregateSummary&) const = default;
 };

@@ -48,6 +48,7 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
   context.epsilon = plan.epsilon;
   context.precision = plan.precision;
   context.time_limit_s = plan.time_limit_s;
+  context.lp_algorithm = plan.lp_algorithm;
   // Cells are the unit of parallelism; solvers must not nest into the pool
   // that is running them (same rule as setsched_cli --all).
   context.pool = nullptr;
@@ -80,6 +81,8 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
     record.ratio =
         point.lower_bound > 0.0 ? result.makespan / point.lower_bound : 1.0;
     record.setups = total_setups(point.input.instance, result.schedule);
+    record.lp_solves = result.stats.lp_solves;
+    record.lp_iterations = result.stats.lp_iterations;
   } catch (const std::exception& e) {
     record.status = RunStatus::kError;
     record.error = e.what();

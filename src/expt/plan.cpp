@@ -98,6 +98,23 @@ std::uint64_t cell_seed(std::string_view preset, std::uint64_t seed,
   return c();
 }
 
+std::string_view lp_algorithm_name(lp::SimplexAlgorithm algorithm) {
+  switch (algorithm) {
+    case lp::SimplexAlgorithm::kAuto: return "auto";
+    case lp::SimplexAlgorithm::kTableau: return "tableau";
+    case lp::SimplexAlgorithm::kRevised: return "revised";
+  }
+  throw CheckError("unknown SimplexAlgorithm value");
+}
+
+lp::SimplexAlgorithm lp_algorithm_from_name(std::string_view name) {
+  if (name == "auto") return lp::SimplexAlgorithm::kAuto;
+  if (name == "tableau") return lp::SimplexAlgorithm::kTableau;
+  if (name == "revised") return lp::SimplexAlgorithm::kRevised;
+  throw CheckError("unknown lp algorithm '" + std::string(name) +
+                   "' (want auto, tableau, or revised)");
+}
+
 std::vector<std::string> split_list(std::string_view text) {
   std::vector<std::string> items;
   while (!text.empty()) {
@@ -160,6 +177,8 @@ ExperimentPlan parse_plan(std::istream& is) {
       plan.precision = parse_positive_double(value, "precision");
     } else if (key == "time_limit_s") {
       plan.time_limit_s = parse_positive_double(value, "time_limit_s");
+    } else if (key == "lp") {
+      plan.lp_algorithm = lp_algorithm_from_name(value);
     } else if (key == "threads") {
       plan.threads = static_cast<std::size_t>(parse_u64(value, "threads"));
     } else if (key == "timing") {

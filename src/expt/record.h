@@ -41,6 +41,11 @@ struct RunRecord {
   std::size_t setups = 0;    ///< total setups paid across machines
   double time_ms = 0.0;      ///< wall time of solve(); 0 when timing is off
 
+  // Solver-level effort counters (SolverStats echo; 0 for LP-free solvers),
+  // so perf PRs can report simplex work, not just wall clock.
+  std::size_t lp_solves = 0;
+  std::size_t lp_iterations = 0;
+
   // Context echo.
   double epsilon = 0.0;
   double precision = 0.0;

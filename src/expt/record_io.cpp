@@ -153,7 +153,7 @@ Int to_integer(std::string_view token, const LineParser& p) {
 RunRecord parse_record_line(std::string_view line) {
   LineParser p{line};
   RunRecord r;
-  // Bitmask of the 17 required keys, in write_jsonl() order.
+  // Bitmask of the 19 required keys, in write_jsonl() order.
   unsigned seen = 0;
   const auto mark = [&](unsigned bit) {
     if (seen & (1u << bit)) p.fail("duplicate key");
@@ -193,21 +193,26 @@ RunRecord parse_record_line(std::string_view line) {
       mark(11), r.setups = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "time_ms") {
       mark(12), r.time_ms = to_double(p.parse_number_token(), p);
+    } else if (key == "lp_solves") {
+      mark(13), r.lp_solves = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "lp_iterations") {
+      mark(14),
+          r.lp_iterations = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "epsilon") {
-      mark(13), r.epsilon = to_double(p.parse_number_token(), p);
+      mark(15), r.epsilon = to_double(p.parse_number_token(), p);
     } else if (key == "precision") {
-      mark(14), r.precision = to_double(p.parse_number_token(), p);
+      mark(16), r.precision = to_double(p.parse_number_token(), p);
     } else if (key == "time_limit_s") {
-      mark(15), r.time_limit_s = to_double(p.parse_number_token(), p);
+      mark(17), r.time_limit_s = to_double(p.parse_number_token(), p);
     } else if (key == "error") {
-      mark(16), r.error = p.parse_string();
+      mark(18), r.error = p.parse_string();
     } else {
       p.fail("unknown key '" + key + "'");
     }
   }
   p.expect('}');
   if (!p.at_end()) p.fail("trailing content");
-  if (seen != (1u << 17) - 1) p.fail("missing keys");
+  if (seen != (1u << 19) - 1) p.fail("missing keys");
   return r;
 }
 
@@ -267,6 +272,8 @@ void write_jsonl(std::ostream& os, const RunRecord& r) {
   os << ",\"setups\":" << r.setups;
   os << ",\"time_ms\":";
   write_double(os, r.time_ms);
+  os << ",\"lp_solves\":" << r.lp_solves;
+  os << ",\"lp_iterations\":" << r.lp_iterations;
   os << ",\"epsilon\":";
   write_double(os, r.epsilon);
   os << ",\"precision\":";
@@ -298,8 +305,8 @@ std::vector<RunRecord> read_jsonl(std::istream& is) {
 
 void write_csv(std::ostream& os, std::span<const RunRecord> records) {
   os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
-        "lower_bound,ratio,setups,time_ms,epsilon,precision,time_limit_s,"
-        "error\n";
+        "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,epsilon,"
+        "precision,time_limit_s,error\n";
   for (const RunRecord& r : records) {
     write_csv_field(os, r.solver);
     os << ',';
@@ -314,7 +321,7 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
     write_double(os, r.ratio);
     os << ',' << r.setups << ',';
     write_double(os, r.time_ms);
-    os << ',';
+    os << ',' << r.lp_solves << ',' << r.lp_iterations << ',';
     write_double(os, r.epsilon);
     os << ',';
     write_double(os, r.precision);

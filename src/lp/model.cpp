@@ -44,6 +44,41 @@ void Model::set_objective(std::size_t col, double coefficient) {
   obj_[col] = coefficient;
 }
 
+void Model::set_rhs(std::size_t row, double rhs) {
+  check(row < num_constraints(), "unknown row");
+  check(std::isfinite(rhs), "constraint rhs must be finite");
+  rhs_[row] = rhs;
+}
+
+void Model::set_bounds(std::size_t col, double lower, double upper) {
+  check(col < num_variables(), "unknown column");
+  check(std::isfinite(lower), "variable lower bound must be finite");
+  check(!(upper < lower), "variable upper bound below lower bound");
+  lower_[col] = lower;
+  upper_[col] = upper;
+}
+
+void Model::update_entry(std::size_t row, std::size_t col, double value) {
+  check(row < num_constraints(), "unknown row");
+  check(std::isfinite(value), "constraint coefficient must be finite");
+  for (Entry& e : rows_[row]) {
+    if (e.col == col) {
+      e.value = value;
+      return;
+    }
+  }
+  check(false, "update_entry: (row, col) has no existing entry");
+}
+
+void Model::add_to_row(std::size_t row, std::size_t col, double value) {
+  check(row < num_constraints(), "unknown row");
+  check(col < num_variables(), "add_to_row references unknown column");
+  check(std::isfinite(value), "constraint coefficient must be finite");
+  check(rows_[row].empty() || rows_[row].back().col < col,
+        "add_to_row: column must extend the row (rows stay sorted)");
+  rows_[row].push_back({col, value});
+}
+
 double Model::row_activity(std::size_t r, const std::vector<double>& x) const {
   double acc = 0.0;
   for (const Entry& e : rows_[r]) acc += e.value * x[e.col];

@@ -36,6 +36,27 @@ class Model {
 
   void set_objective(std::size_t col, double coefficient);
 
+  // --- in-place re-parameterization (parametric solves, warm starting) ----
+  // The T-search and column generation keep ONE model alive and mutate it
+  // between solves so a basis from the previous solve stays meaningful:
+  // column indices never move, only numbers change.
+
+  /// Replaces a row's right-hand side.
+  void set_rhs(std::size_t row, double rhs);
+
+  /// Replaces a variable's bounds (lower must stay finite, upper >= lower).
+  void set_bounds(std::size_t col, double lower, double upper);
+
+  /// Replaces the coefficient of an entry that already exists in `row`
+  /// (throws CheckError when (row, col) has no entry).
+  void update_entry(std::size_t row, std::size_t col, double value);
+
+  /// Appends an entry for a column that does not yet appear in `row`; the
+  /// column index must be >= every column already in the row (the natural
+  /// case when extending rows with freshly added variables, as the
+  /// restricted master of column generation does).
+  void add_to_row(std::size_t row, std::size_t col, double value);
+
   [[nodiscard]] Objective objective_sense() const noexcept { return sense_; }
   [[nodiscard]] std::size_t num_variables() const noexcept {
     return lower_.size();

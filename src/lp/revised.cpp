@@ -1,0 +1,818 @@
+// Sparse revised simplex with warm starting.
+//
+// The problem is held in the standard computational form
+//   min  c^T x   s.t.  A x + s = b,   l <= (x, s) <= u
+// where one logical column s_r per row absorbs the row sense
+// (<=: s in [0, inf),  >=: s in (-inf, 0],  =: s fixed at 0). Structural
+// columns live in a CSC copy gathered once from the Model; logical columns
+// are implicit unit vectors. The basis matrix is kept as a sparse LU
+// factorization (left-looking elimination with partial pivoting) plus a
+// product-form eta file that absorbs basis changes between periodic
+// refactorizations. Primal feasibility is reached by minimizing the sum of
+// primal infeasibilities of the current basis ("composite" phase 1) — there
+// are no artificial columns, so a warm-started basis that is only slightly
+// infeasible after a re-parameterization (the T-search, column generation)
+// is repaired in a handful of pivots instead of a full cold phase 1.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "lp/simplex.h"
+
+namespace setsched::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = SIZE_MAX;
+
+/// Column-wise sparse (CSC) copy of the structural part of [A | I], gathered
+/// once per solve from the row-wise Model.
+struct SparseColumns {
+  std::vector<std::size_t> start;  ///< nstruct + 1 offsets
+  std::vector<std::size_t> row;
+  std::vector<double> value;
+
+  static SparseColumns gather(const Model& model) {
+    const std::size_t nstruct = model.num_variables();
+    const std::size_t nrows = model.num_constraints();
+    SparseColumns csc;
+    std::vector<std::size_t> count(nstruct, 0);
+    for (std::size_t r = 0; r < nrows; ++r) {
+      for (const Entry& e : model.row(r)) ++count[e.col];
+    }
+    csc.start.assign(nstruct + 1, 0);
+    for (std::size_t j = 0; j < nstruct; ++j) {
+      csc.start[j + 1] = csc.start[j] + count[j];
+    }
+    csc.row.resize(csc.start[nstruct]);
+    csc.value.resize(csc.start[nstruct]);
+    std::vector<std::size_t> cursor(csc.start.begin(), csc.start.end() - 1);
+    for (std::size_t r = 0; r < nrows; ++r) {
+      for (const Entry& e : model.row(r)) {
+        csc.row[cursor[e.col]] = r;
+        csc.value[cursor[e.col]] = e.value;
+        ++cursor[e.col];
+      }
+    }
+    return csc;
+  }
+};
+
+/// One product-form update: the basis column at `slot` was replaced by a
+/// column whose FTRAN image was `pivot_value` at `slot` and `entries`
+/// elsewhere.
+struct Eta {
+  std::size_t slot = 0;
+  double pivot_value = 1.0;
+  std::vector<std::pair<std::size_t, double>> entries;  ///< excludes the slot
+};
+
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {}
+
+  Solution run();
+
+ private:
+  // --- setup ---------------------------------------------------------------
+  void build();
+  void init_basis(const Basis* warm);
+  void reset_to_logical_basis();
+
+  // --- factorization -------------------------------------------------------
+  void factorize();             ///< LU of the current basis, with repair
+  bool try_factorize();         ///< one elimination pass; false => repaired
+  void compute_basics();        ///< xb = B^-1 (b - N x_N)
+  void ftran(std::vector<double>& slots);  ///< rows in work_rows_ -> slots
+  void btran(std::vector<double>& slots);  ///< slots -> rows in y_
+
+  // --- iteration -----------------------------------------------------------
+  bool phase_one_costs();       ///< fills cslot_; true iff any infeasibility
+  std::size_t price(bool phase1);
+  std::size_t full_scan(bool phase1, bool bland);
+  [[nodiscard]] double reduced_cost(std::size_t j, bool phase1) const;
+  [[nodiscard]] double bound_value(std::size_t j) const {
+    return state_[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
+  }
+
+  [[nodiscard]] Solution extract(SolveStatus status);
+
+  const Model& model_;
+  SimplexOptions opt_;
+
+  std::size_t nrows_ = 0;
+  std::size_t nstruct_ = 0;
+  std::size_t ncols_ = 0;  ///< nstruct_ + nrows_ (structural | logical)
+
+  SparseColumns cols_;
+  std::vector<double> lower_, upper_;  ///< per column, internal form
+  std::vector<double> cost2_;          ///< phase-2 costs (internal minimize)
+  std::vector<double> rhs_;
+  double sign_ = 1.0;  ///< +1 minimize, -1 maximize
+
+  std::vector<VarStatus> state_;     ///< per column
+  std::vector<std::size_t> basis_;   ///< column basic in each slot
+  std::vector<double> xb_;           ///< value of the basic column per slot
+
+  // LU factors of P B Q = L U: columns eliminated in sparsity order Q
+  // (thin columns first keeps the fill an order of magnitude down on the
+  // scheduling LPs, whose bases mix unit logicals, 2-nonzero dominance
+  // columns, and a few dense load columns), rows chosen by partial
+  // pivoting P. Everything below is indexed by elimination step.
+  std::vector<std::vector<std::pair<std::size_t, double>>> lcols_;  // (row, v)
+  std::vector<std::vector<std::pair<std::size_t, double>>> ucols_;  // (step, v)
+  std::vector<double> udiag_;
+  std::vector<std::size_t> rowof_;    ///< elimination step -> pivot row
+  std::vector<std::size_t> posof_;    ///< row -> elimination step
+  std::vector<std::size_t> colperm_;  ///< elimination step -> basis slot
+  std::vector<double> z_;             ///< scratch, elimination space
+  std::vector<Eta> etas_;
+
+  /// One kink of the piecewise-linear phase-1 objective along the entering
+  /// direction (see the ratio test).
+  struct Kink {
+    double t;
+    double slope_drop;  ///< how much the improvement rate loses here
+    std::size_t slot;
+    bool to_upper;
+  };
+
+  // Scratch (members so the per-iteration hot loop never allocates).
+  std::vector<double> work_rows_;  ///< dense over rows, kept zeroed
+  std::vector<double> alpha_;      ///< FTRAN image of the entering column
+  std::vector<double> cslot_;      ///< basic costs per slot
+  std::vector<double> btran_scratch_;
+  std::vector<double> y_;          ///< duals over rows (last BTRAN)
+  std::vector<std::size_t> candidates_;
+  std::vector<Kink> kinks_;
+  std::vector<char> shunned_;  ///< columns with numerically unusable pivots
+  bool any_shunned_ = false;
+
+  double total_infeas_ = 0.0;
+  std::size_t iterations_ = 0;
+  std::size_t max_iterations_ = 0;
+  bool use_bland_ = false;
+  std::size_t stall_count_ = 0;
+
+  [[nodiscard]] double infeas_tol() const {
+    return opt_.feas_tol * std::max<double>(1.0, static_cast<double>(nrows_));
+  }
+};
+
+void RevisedSimplex::build() {
+  nrows_ = model_.num_constraints();
+  nstruct_ = model_.num_variables();
+  ncols_ = nstruct_ + nrows_;
+  sign_ = model_.objective_sense() == Objective::kMinimize ? 1.0 : -1.0;
+
+  cols_ = SparseColumns::gather(model_);
+
+  lower_.resize(ncols_);
+  upper_.resize(ncols_);
+  cost2_.assign(ncols_, 0.0);
+  rhs_.resize(nrows_);
+  for (std::size_t j = 0; j < nstruct_; ++j) {
+    lower_[j] = model_.lower(j);
+    upper_[j] = model_.upper(j);
+    cost2_[j] = sign_ * model_.objective(j);
+  }
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    const std::size_t s = nstruct_ + r;
+    switch (model_.row_sense(r)) {
+      case Sense::kLessEqual:
+        lower_[s] = 0.0;
+        upper_[s] = kInf;
+        break;
+      case Sense::kGreaterEqual:
+        lower_[s] = -kInf;
+        upper_[s] = 0.0;
+        break;
+      case Sense::kEqual:
+        lower_[s] = 0.0;
+        upper_[s] = 0.0;
+        break;
+    }
+    rhs_[r] = model_.rhs(r);
+  }
+
+  work_rows_.assign(nrows_, 0.0);
+  z_.assign(nrows_, 0.0);
+  alpha_.assign(nrows_, 0.0);
+  cslot_.assign(nrows_, 0.0);
+  y_.assign(nrows_, 0.0);
+  shunned_.assign(ncols_, 0);
+
+  max_iterations_ = opt_.max_iterations != 0
+                        ? opt_.max_iterations
+                        : 400 * (nrows_ + ncols_) + 10000;
+}
+
+void RevisedSimplex::reset_to_logical_basis() {
+  basis_.resize(nrows_);
+  for (std::size_t j = 0; j < ncols_; ++j) {
+    state_[j] = std::isfinite(lower_[j]) ? VarStatus::kAtLower
+                                         : VarStatus::kAtUpper;
+  }
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    basis_[r] = nstruct_ + r;
+    state_[nstruct_ + r] = VarStatus::kBasic;
+  }
+}
+
+void RevisedSimplex::init_basis(const Basis* warm) {
+  state_.assign(ncols_, VarStatus::kAtLower);
+  if (warm == nullptr || warm->empty() ||
+      warm->structurals.size() > nstruct_ ||
+      warm->logicals.size() != nrows_) {
+    reset_to_logical_basis();
+    return;
+  }
+
+  // Adopt the snapshot. Columns appended since it was taken (column
+  // generation) default to nonbasic; statuses then get coerced onto a finite
+  // bound below.
+  for (std::size_t j = 0; j < warm->structurals.size(); ++j) {
+    state_[j] = warm->structurals[j];
+  }
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    state_[nstruct_ + r] = warm->logicals[r];
+  }
+
+  std::vector<std::size_t> basic;
+  basic.reserve(nrows_);
+  for (std::size_t j = 0; j < ncols_; ++j) {
+    if (state_[j] == VarStatus::kBasic) basic.push_back(j);
+  }
+  // Size repair: demote surplus basics (latest columns first), pad a deficit
+  // with nonbasic logicals. The factorization repairs singularity afterwards.
+  while (basic.size() > nrows_) {
+    state_[basic.back()] = VarStatus::kAtLower;
+    basic.pop_back();
+  }
+  for (std::size_t r = 0; r < nrows_ && basic.size() < nrows_; ++r) {
+    if (state_[nstruct_ + r] != VarStatus::kBasic) {
+      state_[nstruct_ + r] = VarStatus::kBasic;
+      basic.push_back(nstruct_ + r);
+    }
+  }
+  if (basic.size() != nrows_) {  // degenerate snapshot beyond repair
+    reset_to_logical_basis();
+    return;
+  }
+  std::sort(basic.begin(), basic.end());
+  basis_ = std::move(basic);
+
+  // Nonbasic statuses must sit on a finite bound.
+  for (std::size_t j = 0; j < ncols_; ++j) {
+    if (state_[j] == VarStatus::kAtLower && !std::isfinite(lower_[j])) {
+      state_[j] = VarStatus::kAtUpper;
+    } else if (state_[j] == VarStatus::kAtUpper && !std::isfinite(upper_[j])) {
+      state_[j] = VarStatus::kAtLower;
+    }
+  }
+}
+
+bool RevisedSimplex::try_factorize() {
+  lcols_.assign(nrows_, {});
+  ucols_.assign(nrows_, {});
+  udiag_.assign(nrows_, 0.0);
+  rowof_.assign(nrows_, kNone);
+  posof_.assign(nrows_, kNone);
+  etas_.clear();
+
+  // Eliminate thin columns first (unit logicals, then the 2-nonzero
+  // dominance columns, ...): a cheap static approximation of Markowitz
+  // ordering that keeps the fill-in an order of magnitude down on the
+  // scheduling LPs.
+  colperm_.resize(nrows_);
+  for (std::size_t k = 0; k < nrows_; ++k) colperm_[k] = k;
+  const auto col_nnz = [&](std::size_t slot) -> std::size_t {
+    const std::size_t col = basis_[slot];
+    if (col >= nstruct_) return 1;
+    return cols_.start[col + 1] - cols_.start[col];
+  };
+  std::stable_sort(colperm_.begin(), colperm_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return col_nnz(a) < col_nnz(b);
+                   });
+
+  const double lu_tol = std::max(opt_.pivot_tol, 1e-11);
+  std::vector<double>& w = work_rows_;  // invariant: all zero on entry/exit
+  std::vector<std::size_t> deficient;
+
+  for (std::size_t k = 0; k < nrows_; ++k) {
+    // Scatter the basis column eliminated at step k.
+    const std::size_t col = basis_[colperm_[k]];
+    if (col < nstruct_) {
+      for (std::size_t t = cols_.start[col]; t < cols_.start[col + 1]; ++t) {
+        w[cols_.row[t]] += cols_.value[t];
+      }
+    } else {
+      w[col - nstruct_] += 1.0;
+    }
+    // Left-looking elimination against the pivots chosen so far.
+    for (std::size_t t = 0; t < k; ++t) {
+      if (rowof_[t] == kNone) continue;  // deficient earlier step
+      const double ut = w[rowof_[t]];
+      if (ut == 0.0) continue;
+      ucols_[k].push_back({t, ut});
+      for (const auto& [r, v] : lcols_[t]) w[r] -= v * ut;
+    }
+    // Partial pivoting over the rows not yet claimed.
+    std::size_t pivot_row = kNone;
+    double best = lu_tol;
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      if (posof_[r] != kNone) continue;
+      const double mag = std::abs(w[r]);
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row == kNone) {
+      deficient.push_back(k);
+      ucols_[k].clear();
+      std::fill(w.begin(), w.end(), 0.0);
+      continue;
+    }
+    udiag_[k] = w[pivot_row];
+    rowof_[k] = pivot_row;
+    posof_[pivot_row] = k;
+    for (std::size_t r = 0; r < nrows_; ++r) {
+      if (posof_[r] != kNone || w[r] == 0.0) continue;
+      lcols_[k].push_back({r, w[r] / udiag_[k]});
+    }
+    std::fill(w.begin(), w.end(), 0.0);
+  }
+
+  if (deficient.empty()) return true;
+
+  // Repair: swap each dependent basis column for the logical of a distinct
+  // unclaimed row (those logicals are provably nonbasic only in the common
+  // case; when one is not, fall back to the always-valid all-logical basis).
+  std::vector<std::size_t> free_rows;
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    if (posof_[r] == kNone && state_[nstruct_ + r] != VarStatus::kBasic) {
+      free_rows.push_back(r);
+    }
+  }
+  if (free_rows.size() < deficient.size()) {
+    reset_to_logical_basis();
+    return false;
+  }
+  for (std::size_t i = 0; i < deficient.size(); ++i) {
+    const std::size_t slot = colperm_[deficient[i]];
+    const std::size_t old = basis_[slot];
+    state_[old] = std::isfinite(lower_[old]) ? VarStatus::kAtLower
+                                             : VarStatus::kAtUpper;
+    basis_[slot] = nstruct_ + free_rows[i];
+    state_[basis_[slot]] = VarStatus::kBasic;
+  }
+  return false;
+}
+
+void RevisedSimplex::factorize() {
+  for (std::size_t attempt = 0; attempt <= nrows_ + 1; ++attempt) {
+    if (try_factorize()) return;
+  }
+  check(false, "revised simplex: basis repair did not converge");
+}
+
+void RevisedSimplex::ftran(std::vector<double>& slots) {
+  // Solve B z = work_rows_ into `slots` (position space); zeroes work_rows_.
+  std::vector<double>& w = work_rows_;
+  for (std::size_t k = 0; k < nrows_; ++k) {
+    const double zk = w[rowof_[k]];
+    z_[k] = zk;
+    if (zk != 0.0) {
+      for (const auto& [r, v] : lcols_[k]) w[r] -= v * zk;
+    }
+  }
+  for (std::size_t k = 0; k < nrows_; ++k) w[rowof_[k]] = 0.0;
+  for (std::size_t k = nrows_; k-- > 0;) {
+    const double xk = z_[k] / udiag_[k];
+    z_[k] = xk;
+    if (xk != 0.0) {
+      for (const auto& [q, v] : ucols_[k]) z_[q] -= v * xk;
+    }
+  }
+  // The coefficient solved at elimination step k belongs to slot colperm_[k].
+  for (std::size_t k = 0; k < nrows_; ++k) slots[colperm_[k]] = z_[k];
+  for (const Eta& e : etas_) {
+    const double xp = slots[e.slot] / e.pivot_value;
+    if (xp != 0.0) {
+      for (const auto& [q, v] : e.entries) slots[q] -= v * xp;
+    }
+    slots[e.slot] = xp;
+  }
+}
+
+void RevisedSimplex::btran(std::vector<double>& slots) {
+  // Solve B^T y = `slots` (costs per slot); the result lands in y_ (rows).
+  for (std::size_t i = etas_.size(); i-- > 0;) {
+    const Eta& e = etas_[i];
+    double acc = slots[e.slot];
+    for (const auto& [q, v] : e.entries) acc -= v * slots[q];
+    slots[e.slot] = acc / e.pivot_value;
+  }
+  for (std::size_t k = 0; k < nrows_; ++k) z_[k] = slots[colperm_[k]];
+  for (std::size_t k = 0; k < nrows_; ++k) {
+    double tk = z_[k];
+    for (const auto& [q, v] : ucols_[k]) tk -= v * z_[q];
+    z_[k] = tk / udiag_[k];
+  }
+  for (std::size_t k = nrows_; k-- > 0;) {
+    double sk = z_[k];
+    for (const auto& [r, v] : lcols_[k]) sk -= v * z_[posof_[r]];
+    z_[k] = sk;
+  }
+  for (std::size_t k = 0; k < nrows_; ++k) y_[rowof_[k]] = z_[k];
+}
+
+void RevisedSimplex::compute_basics() {
+  std::vector<double>& w = work_rows_;
+  for (std::size_t r = 0; r < nrows_; ++r) w[r] = rhs_[r];
+  // Nonbasic logicals always sit at 0, so only structural columns contribute.
+  for (std::size_t j = 0; j < nstruct_; ++j) {
+    if (state_[j] == VarStatus::kBasic) continue;
+    const double v = bound_value(j);
+    if (v == 0.0) continue;
+    for (std::size_t t = cols_.start[j]; t < cols_.start[j + 1]; ++t) {
+      w[cols_.row[t]] -= cols_.value[t] * v;
+    }
+  }
+  xb_.assign(nrows_, 0.0);
+  ftran(xb_);
+}
+
+bool RevisedSimplex::phase_one_costs() {
+  total_infeas_ = 0.0;
+  bool any = false;
+  for (std::size_t k = 0; k < nrows_; ++k) {
+    const std::size_t b = basis_[k];
+    const double v = xb_[k];
+    if (v < lower_[b] - opt_.feas_tol) {
+      cslot_[k] = -1.0;
+      total_infeas_ += lower_[b] - v;
+      any = true;
+    } else if (v > upper_[b] + opt_.feas_tol) {
+      cslot_[k] = 1.0;
+      total_infeas_ += v - upper_[b];
+      any = true;
+    } else {
+      cslot_[k] = 0.0;
+    }
+  }
+  if (!any) {
+    for (std::size_t k = 0; k < nrows_; ++k) cslot_[k] = cost2_[basis_[k]];
+  }
+  return any;
+}
+
+double RevisedSimplex::reduced_cost(std::size_t j, bool phase1) const {
+  double d = phase1 ? 0.0 : cost2_[j];
+  if (j < nstruct_) {
+    for (std::size_t t = cols_.start[j]; t < cols_.start[j + 1]; ++t) {
+      d -= cols_.value[t] * y_[cols_.row[t]];
+    }
+  } else {
+    d -= y_[j - nstruct_];
+  }
+  return d;
+}
+
+std::size_t RevisedSimplex::full_scan(bool phase1, bool bland) {
+  candidates_.clear();
+  const std::size_t list_size =
+      std::max<std::size_t>(16, ncols_ / 8);
+  std::vector<std::pair<double, std::size_t>> eligible;
+  std::size_t best = kNone;
+  double best_score = opt_.opt_tol;
+  for (std::size_t j = 0; j < ncols_; ++j) {
+    if (state_[j] == VarStatus::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;  // fixed
+    if (shunned_[j]) continue;
+    const double d = reduced_cost(j, phase1);
+    double score = 0.0;
+    if (state_[j] == VarStatus::kAtLower && d < -opt_.opt_tol) {
+      score = -d;
+    } else if (state_[j] == VarStatus::kAtUpper && d > opt_.opt_tol) {
+      score = d;
+    } else {
+      continue;
+    }
+    if (bland) return j;  // first eligible index
+    eligible.push_back({score, j});
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  if (eligible.size() > list_size) {
+    std::nth_element(eligible.begin(), eligible.begin() + list_size,
+                     eligible.end(), std::greater<>());
+    eligible.resize(list_size);
+  }
+  candidates_.reserve(eligible.size());
+  for (const auto& [score, j] : eligible) candidates_.push_back(j);
+  return best;
+}
+
+std::size_t RevisedSimplex::price(bool phase1) {
+  if (use_bland_) return full_scan(phase1, /*bland=*/true);
+  // Minor pass over the candidate list with fresh reduced costs; fall back
+  // to a full pricing scan (which also refreshes the list) when it runs dry.
+  std::size_t best = kNone;
+  double best_score = opt_.opt_tol;
+  std::size_t keep = 0;
+  for (const std::size_t j : candidates_) {
+    if (state_[j] == VarStatus::kBasic || shunned_[j]) continue;
+    candidates_[keep++] = j;
+    const double d = reduced_cost(j, phase1);
+    double score = 0.0;
+    if (state_[j] == VarStatus::kAtLower && d < -opt_.opt_tol) {
+      score = -d;
+    } else if (state_[j] == VarStatus::kAtUpper && d > opt_.opt_tol) {
+      score = d;
+    } else {
+      continue;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  candidates_.resize(keep);
+  if (best != kNone) return best;
+  return full_scan(phase1, /*bland=*/false);
+}
+
+Solution RevisedSimplex::extract(SolveStatus status) {
+  Solution sol;
+  sol.status = status;
+  sol.iterations = iterations_;
+
+  // The basis snapshot is useful even for infeasible probes (the T-search
+  // warm-starts the next probe from it), so fill it for every terminal
+  // status except an iteration-limit bailout mid-flight.
+  if (status == SolveStatus::kOptimal || status == SolveStatus::kInfeasible) {
+    sol.basis.structurals.assign(state_.begin(), state_.begin() + nstruct_);
+    sol.basis.logicals.assign(state_.begin() + nstruct_, state_.end());
+  }
+  if (status != SolveStatus::kOptimal) return sol;
+
+  sol.x.resize(nstruct_);
+  sol.basic.assign(nstruct_, false);
+  for (std::size_t j = 0; j < nstruct_; ++j) {
+    sol.x[j] = bound_value(j);
+    sol.basic[j] = state_[j] == VarStatus::kBasic;
+  }
+  for (std::size_t k = 0; k < nrows_; ++k) {
+    if (basis_[k] >= nstruct_) continue;
+    double v = xb_[k];
+    // Snap roundoff onto the box.
+    const std::size_t b = basis_[k];
+    if (v < lower_[b] && v > lower_[b] - opt_.feas_tol * 10) v = lower_[b];
+    if (v > upper_[b] && v < upper_[b] + opt_.feas_tol * 10) v = upper_[b];
+    sol.x[b] = v;
+  }
+  sol.objective = 0.0;
+  for (std::size_t j = 0; j < nstruct_; ++j) {
+    sol.objective += model_.objective(j) * sol.x[j];
+  }
+  // Duals from the last phase-2 BTRAN, converted to the user's sense.
+  sol.duals.resize(nrows_);
+  for (std::size_t r = 0; r < nrows_; ++r) sol.duals[r] = sign_ * y_[r];
+  return sol;
+}
+
+Solution RevisedSimplex::run() {
+  build();
+  init_basis(opt_.warm_start);
+  factorize();
+  compute_basics();
+
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return extract(SolveStatus::kIterationLimit);
+    }
+
+    const bool phase1 = phase_one_costs();
+    btran_scratch_ = cslot_;
+    btran(btran_scratch_);
+
+    const std::size_t enter = price(phase1);
+    if (enter == kNone) {
+      if (!phase1) return extract(SolveStatus::kOptimal);
+      if (total_infeas_ > infeas_tol()) {
+        return extract(SolveStatus::kInfeasible);
+      }
+      // Residual infeasibility is within the aggregate tolerance: snap the
+      // stragglers onto their bounds and continue as phase 2. One bound at a
+      // time (a basic var violates at most one, and the other may be
+      // infinite, so std::clamp's lo <= hi precondition need not hold).
+      for (std::size_t k = 0; k < nrows_; ++k) {
+        const std::size_t b = basis_[k];
+        if (xb_[k] < lower_[b]) xb_[k] = lower_[b];
+        if (xb_[k] > upper_[b]) xb_[k] = upper_[b];
+      }
+      continue;
+    }
+
+    // FTRAN the entering column.
+    if (enter < nstruct_) {
+      for (std::size_t t = cols_.start[enter]; t < cols_.start[enter + 1];
+           ++t) {
+        work_rows_[cols_.row[t]] += cols_.value[t];
+      }
+    } else {
+      work_rows_[enter - nstruct_] += 1.0;
+    }
+    ftran(alpha_);
+
+    const bool from_lower = state_[enter] == VarStatus::kAtLower;
+    const double dir = from_lower ? 1.0 : -1.0;
+
+    // Bounded-variable ratio test, phase-aware. In phase 2 every basic is
+    // feasible and blocks at the bound it moves toward. In phase 1 the
+    // objective (total infeasibility) is piecewise linear in the step: each
+    // basic variable reaching a bound is a kink where the slope changes, and
+    // the classic long-step rule walks through kinks while the slope stays
+    // improving — an infeasible basic turning feasible removes its
+    // unit-rate gain, a feasible basic pushed past its bound adds a
+    // unit-rate loss — taking one long step where the textbook rule would
+    // take many degenerate ones.
+    std::size_t leave_slot = kNone;
+    double row_t = kInf;
+    bool leave_to_upper = false;
+    if (!phase1) {
+      double leave_mag = 0.0;
+      for (std::size_t k = 0; k < nrows_; ++k) {
+        const double a = dir * alpha_[k];
+        if (std::abs(a) < opt_.pivot_tol) continue;
+        const std::size_t b = basis_[k];
+        const double v = xb_[k];
+        const double target = a > 0.0 ? lower_[b] : upper_[b];
+        if (!std::isfinite(target)) continue;
+        double t = (a > 0.0 ? v - target : target - v) / std::abs(a);
+        t = std::max(t, 0.0);
+        const double mag = std::abs(a);
+        bool better;
+        if (leave_slot == kNone) {
+          better = t < row_t;
+        } else if (t < row_t - 1e-12) {
+          better = true;
+        } else if (t <= row_t + 1e-12) {
+          // Tie-break: Bland-friendly smallest column when stalling, biggest
+          // pivot magnitude otherwise (numerical stability).
+          better =
+              use_bland_ ? basis_[k] < basis_[leave_slot] : mag > leave_mag;
+        } else {
+          better = false;
+        }
+        if (better) {
+          leave_slot = k;
+          row_t = t;
+          leave_mag = mag;
+          leave_to_upper = a > 0.0 ? false : true;
+        }
+      }
+    } else {
+      // Kinks of the phase-1 objective along the entering direction.
+      std::vector<Kink>& kinks = kinks_;
+      kinks.clear();
+      for (std::size_t k = 0; k < nrows_; ++k) {
+        const double a = dir * alpha_[k];
+        if (std::abs(a) < opt_.pivot_tol) continue;
+        const std::size_t b = basis_[k];
+        const double v = xb_[k];
+        const bool below = v < lower_[b] - opt_.feas_tol;
+        const bool above = v > upper_[b] + opt_.feas_tol;
+        const double mag = std::abs(a);
+        if (a > 0.0) {  // basic decreases
+          if (below) continue;  // moving further below: slope already paid
+          if (above && std::isfinite(upper_[b])) {
+            // Turns feasible at its upper bound, could then continue down to
+            // its lower bound (second kink).
+            kinks.push_back({(v - upper_[b]) / a, mag, k, true});
+            if (std::isfinite(lower_[b])) {
+              kinks.push_back({(v - lower_[b]) / a, mag, k, false});
+            }
+          } else if (!above && std::isfinite(lower_[b])) {
+            kinks.push_back({std::max(0.0, (v - lower_[b]) / a), mag, k,
+                             false});
+          }
+        } else {  // basic increases
+          if (above) continue;
+          if (below && std::isfinite(lower_[b])) {
+            kinks.push_back({(lower_[b] - v) / mag, mag, k, false});
+            if (std::isfinite(upper_[b])) {
+              kinks.push_back({(upper_[b] - v) / mag, mag, k, true});
+            }
+          } else if (!below && std::isfinite(upper_[b])) {
+            kinks.push_back({std::max(0.0, (upper_[b] - v) / mag), mag, k,
+                             true});
+          }
+        }
+      }
+      std::sort(kinks.begin(), kinks.end(),
+                [](const Kink& a, const Kink& b) { return a.t < b.t; });
+      // The improvement rate starts at |d_enter| >= the sum of the
+      // unit-rate gains from the infeasible basics this direction helps;
+      // walk kinks until it is used up. The kink that exhausts the rate
+      // yields the leaving variable.
+      double slope = std::abs(reduced_cost(enter, /*phase1=*/true));
+      for (const Kink& kink : kinks) {
+        slope -= kink.slope_drop;
+        leave_slot = kink.slot;
+        row_t = kink.t;
+        leave_to_upper = kink.to_upper;
+        if (slope <= opt_.opt_tol) break;
+      }
+    }
+
+    const double flip_t =
+        std::isfinite(upper_[enter]) && std::isfinite(lower_[enter])
+            ? upper_[enter] - lower_[enter]
+            : kInf;
+    if (leave_slot == kNone && !std::isfinite(flip_t)) {
+      if (!phase1) return extract(SolveStatus::kUnbounded);
+      // A phase-1 improving direction cannot truly be unbounded (the
+      // objective is bounded below by 0); the blocking pivot fell under the
+      // tolerance. Shun the column and re-price.
+      shunned_[enter] = 1;
+      any_shunned_ = true;
+      continue;
+    }
+
+    const bool do_flip = leave_slot == kNone || flip_t < row_t;
+    const double step = do_flip ? flip_t : row_t;
+
+    ++iterations_;
+    if (step <= opt_.feas_tol) {
+      ++stall_count_;
+      if (stall_count_ > 2 * (nrows_ + ncols_)) use_bland_ = true;
+    } else {
+      stall_count_ = 0;
+    }
+
+    if (step != 0.0) {
+      for (std::size_t k = 0; k < nrows_; ++k) {
+        if (alpha_[k] != 0.0) xb_[k] -= dir * alpha_[k] * step;
+      }
+    }
+
+    if (do_flip) {
+      state_[enter] =
+          from_lower ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      std::fill(alpha_.begin(), alpha_.end(), 0.0);
+      continue;
+    }
+
+    // Basis change.
+    const std::size_t leaving = basis_[leave_slot];
+    state_[leaving] =
+        leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    basis_[leave_slot] = enter;
+    state_[enter] = VarStatus::kBasic;
+    xb_[leave_slot] =
+        from_lower ? lower_[enter] + step : upper_[enter] - step;
+    if (any_shunned_) {
+      std::fill(shunned_.begin(), shunned_.end(), 0);
+      any_shunned_ = false;
+    }
+
+    Eta eta;
+    eta.slot = leave_slot;
+    eta.pivot_value = alpha_[leave_slot];
+    for (std::size_t k = 0; k < nrows_; ++k) {
+      if (k != leave_slot && alpha_[k] != 0.0) {
+        eta.entries.push_back({k, alpha_[k]});
+      }
+      alpha_[k] = 0.0;
+    }
+    etas_.push_back(std::move(eta));
+
+    if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
+      factorize();
+      compute_basics();
+    }
+  }
+}
+
+}  // namespace
+
+Solution solve_revised(const Model& model, const SimplexOptions& options) {
+  check(model.num_constraints() > 0, "LP needs at least one constraint");
+  check(model.num_variables() > 0, "LP needs at least one variable");
+  RevisedSimplex simplex(model, options);
+  return simplex.run();
+}
+
+}  // namespace setsched::lp

@@ -454,11 +454,26 @@ Solution Tableau::run() {
 
 }  // namespace
 
-Solution solve(const Model& model, const SimplexOptions& options) {
+Solution solve_tableau(const Model& model, const SimplexOptions& options) {
   check(model.num_constraints() > 0, "LP needs at least one constraint");
   check(model.num_variables() > 0, "LP needs at least one variable");
   Tableau tableau(model, options);
   return tableau.run();
+}
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  switch (options.algorithm) {
+    case SimplexAlgorithm::kTableau:
+      return solve_tableau(model, options);
+    case SimplexAlgorithm::kRevised:
+      return solve_revised(model, options);
+    case SimplexAlgorithm::kAuto:
+      break;
+  }
+  // Audit mode instruments the dense tableau (the reference oracle); every
+  // other automatic solve takes the sparse revised path.
+  if (options.audit) return solve_tableau(model, options);
+  return solve_revised(model, options);
 }
 
 }  // namespace setsched::lp

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "lp/model.h"
@@ -12,6 +13,26 @@ enum class SolveStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+};
+
+/// Status of one column (structural or logical) in a simplex basis.
+enum class VarStatus : std::uint8_t { kAtLower, kAtUpper, kBasic };
+
+/// Snapshot of a simplex basis: one status per structural column plus one per
+/// row (the row's logical/slack column). Returned in Solution by the revised
+/// solver and accepted back through SimplexOptions::warm_start, so closely
+/// related solves (the assignment-LP T-search, column-generation rounds) can
+/// skip phase 1 instead of re-deriving a basis from scratch. A basis stays
+/// meaningful across re-parameterizations of the *same* model (rhs, bounds,
+/// coefficient updates) and across appended columns (new columns default to
+/// nonbasic-at-lower); it is not transferable between unrelated models.
+struct Basis {
+  std::vector<VarStatus> structurals;
+  std::vector<VarStatus> logicals;  ///< one per constraint row
+
+  [[nodiscard]] bool empty() const noexcept {
+    return structurals.empty() && logicals.empty();
+  }
 };
 
 struct Solution {
@@ -26,11 +47,27 @@ struct Solution {
   /// True for variables that ended basic (useful to inspect the extreme
   /// point structure; at most num_constraints variables are basic).
   std::vector<bool> basic;
+  /// Final basis snapshot for warm starting subsequent solves. Populated by
+  /// the revised solver on kOptimal and kInfeasible (an infeasible probe's
+  /// basis is still a good seed for the next probe of a T-search); empty
+  /// from the tableau solver.
+  Basis basis;
   std::size_t iterations = 0;
 
   [[nodiscard]] bool optimal() const noexcept {
     return status == SolveStatus::kOptimal;
   }
+};
+
+/// Which simplex implementation solve() runs.
+enum class SimplexAlgorithm : std::uint8_t {
+  /// Revised solver, unless audit mode is requested (audit instruments the
+  /// dense tableau, which then acts as the reference oracle).
+  kAuto,
+  /// Dense bounded-variable two-phase tableau (reference implementation).
+  kTableau,
+  /// Sparse revised simplex with LU basis factorization and warm starts.
+  kRevised,
 };
 
 struct SimplexOptions {
@@ -44,16 +81,39 @@ struct SimplexOptions {
   std::size_t max_iterations = 0;
   /// Paranoid mode: snapshot the initial system and verify the incremental
   /// solver state against it after every pivot (throws CheckError on drift).
-  /// Costs one O(rows*cols) pass per pivot; intended for tests.
+  /// Costs one O(rows*cols) pass per pivot; intended for tests. Tableau only
+  /// (kAuto routes audited solves to the tableau).
   bool audit = false;
+  /// Implementation selector; see SimplexAlgorithm.
+  SimplexAlgorithm algorithm = SimplexAlgorithm::kAuto;
+  /// Starting basis for the revised solver (ignored by the tableau). The
+  /// caller keeps ownership; pass the Basis returned by a previous solve of
+  /// the same (possibly re-parameterized) model. Stale or structurally
+  /// broken bases are repaired, never trusted blindly.
+  const Basis* warm_start = nullptr;
+  /// Revised solver: rebuild the LU factorization after this many eta
+  /// updates (bounds the eta file and the accumulated roundoff).
+  std::size_t refactor_interval = 64;
 };
 
-/// Solves the LP with a bounded-variable two-phase primal tableau simplex.
-///
-/// Dantzig pricing with an automatic switch to Bland's rule after a long
-/// stall guarantees termination. Basic optimal solutions are extreme points
-/// of the feasible region — a property Theorem 3.10's pseudoforest rounding
-/// relies on.
+/// Solves the LP. The default (kAuto) runs the sparse revised simplex; the
+/// dense two-phase tableau remains available as the reference oracle (and is
+/// what audit mode instruments). Both implementations use bounded-variable
+/// pricing, switch to Bland's rule after a long stall to guarantee
+/// termination, and return basic optimal solutions — extreme points of the
+/// feasible region, a property Theorem 3.10's pseudoforest rounding relies
+/// on.
 [[nodiscard]] Solution solve(const Model& model, const SimplexOptions& options = {});
+
+/// The dense two-phase tableau, directly (reference oracle).
+[[nodiscard]] Solution solve_tableau(const Model& model,
+                                     const SimplexOptions& options = {});
+
+/// The sparse revised simplex, directly: column-wise sparse storage, LU
+/// basis factorization with product-form eta updates and periodic
+/// refactorization, FTRAN/BTRAN, candidate-list partial pricing, and warm
+/// starting from SimplexOptions::warm_start.
+[[nodiscard]] Solution solve_revised(const Model& model,
+                                     const SimplexOptions& options = {});
 
 }  // namespace setsched::lp

@@ -18,31 +18,33 @@ struct LpWindow {
   RelaxedLp lp;
   double lower_bound = 0.0;
   std::size_t solves = 0;
+  std::size_t iterations = 0;
 };
 
 /// Geometric binary search for (nearly) the smallest LP-RelaxedRA-feasible T.
 /// Any feasible integral schedule is LP-feasible at its makespan (Lemma 3.7,
 /// which for both special cases also covers the (16) exclusions), so the
 /// trivial best-machine schedule provides the initial feasible T.
-LpWindow search_relaxed_lp(const Instance& instance, double precision) {
+LpWindow search_relaxed_lp(const Instance& instance, double precision,
+                           const lp::SimplexOptions& simplex) {
   check(precision > 0.0, "precision must be positive");
   double lo = relaxed_lp_floor(instance);
   double hi = std::max(lo, unrelated_upper_bound(instance));
 
   LpWindow out;
   ++out.solves;
-  if (auto at_lo = solve_relaxed_lp(instance, lo)) {
+  if (auto at_lo = solve_relaxed_lp(instance, lo, simplex, &out.iterations)) {
     out.lp = std::move(*at_lo);
     out.lower_bound = lo;
     return out;
   }
   ++out.solves;
-  auto best = solve_relaxed_lp(instance, hi);
+  auto best = solve_relaxed_lp(instance, hi, simplex, &out.iterations);
   check(best.has_value(), "LP-RelaxedRA infeasible at a feasible makespan");
   while (hi / lo > 1.0 + precision) {
     const double mid = std::sqrt(lo * hi);
     ++out.solves;
-    if (auto sol = solve_relaxed_lp(instance, mid)) {
+    if (auto sol = solve_relaxed_lp(instance, mid, simplex, &out.iterations)) {
       hi = mid;
       best = std::move(sol);
     } else {
@@ -106,12 +108,13 @@ Schedule fill_slots(const Instance& instance, const Matrix<double>& work,
 }  // namespace
 
 ConstantApproxResult two_approx_restricted(const Instance& instance,
-                                           double precision) {
+                                           double precision,
+                                           const lp::SimplexOptions& simplex) {
   instance.validate();
   check(is_restricted_class_uniform(instance),
         "two_approx_restricted requires class-uniform restrictions");
 
-  LpWindow window = search_relaxed_lp(instance, precision);
+  LpWindow window = search_relaxed_lp(instance, precision, simplex);
   Matrix<double>& xbar = window.lp.xbar;
 
   const EdgeSelection sel = select_pseudoforest_edges(xbar, kShareEps);
@@ -139,18 +142,20 @@ ConstantApproxResult two_approx_restricted(const Instance& instance,
   out.lp_T = window.lp.T;
   out.lp_lower_bound = window.lower_bound;
   out.lp_solves = window.solves;
+  out.lp_iterations = window.iterations;
   check(out.makespan <= 2.0 * out.lp_T + 1e-6,
         "2-approx exceeded its proven bound");
   return out;
 }
 
 ConstantApproxResult three_approx_class_uniform(const Instance& instance,
-                                                double precision) {
+                                                double precision,
+                                                const lp::SimplexOptions& simplex) {
   instance.validate();
   check(is_class_uniform_processing(instance),
         "three_approx_class_uniform requires class-uniform processing times");
 
-  LpWindow window = search_relaxed_lp(instance, precision);
+  LpWindow window = search_relaxed_lp(instance, precision, simplex);
   Matrix<double>& xbar = window.lp.xbar;
 
   const EdgeSelection sel = select_pseudoforest_edges(xbar, kShareEps);
@@ -187,6 +192,7 @@ ConstantApproxResult three_approx_class_uniform(const Instance& instance,
   out.lp_T = window.lp.T;
   out.lp_lower_bound = window.lower_bound;
   out.lp_solves = window.solves;
+  out.lp_iterations = window.iterations;
   check(out.makespan <= 3.0 * out.lp_T + 1e-6,
         "3-approx exceeded its proven bound");
   return out;

@@ -15,6 +15,9 @@ struct ConstantApproxResult {
   /// or the trivial floor).
   double lp_lower_bound = 0.0;
   std::size_t lp_solves = 0;
+  /// Simplex iterations summed over every probe of the T-search (including
+  /// infeasible probes, which still cost pivots).
+  std::size_t lp_iterations = 0;
 };
 
 /// Theorem 3.10: 2-approximation for restricted assignment with
@@ -24,7 +27,8 @@ struct ConstantApproxResult {
 /// edge's workload moves to a chosen Ẽ machine i+_k, per-class reserved slots
 /// are filled greedily with i+_k last. Guarantees makespan <= 2 lp_T.
 [[nodiscard]] ConstantApproxResult two_approx_restricted(
-    const Instance& instance, double precision = 0.02);
+    const Instance& instance, double precision = 0.02,
+    const lp::SimplexOptions& simplex = {});
 
 /// Theorem 3.11: 3-approximation for unrelated machines with class-uniform
 /// processing times. Requires is_class_uniform_processing(instance)
@@ -32,6 +36,7 @@ struct ConstantApproxResult {
 /// move entirely to i^-_k, otherwise the kept shares are doubled.
 /// Guarantees makespan <= 3 lp_T.
 [[nodiscard]] ConstantApproxResult three_approx_class_uniform(
-    const Instance& instance, double precision = 0.02);
+    const Instance& instance, double precision = 0.02,
+    const lp::SimplexOptions& simplex = {});
 
 }  // namespace setsched

@@ -48,7 +48,9 @@ ClassData compute_class_data(const Instance& instance) {
 
 }  // namespace
 
-std::optional<RelaxedLp> solve_relaxed_lp(const Instance& instance, double T) {
+std::optional<RelaxedLp> solve_relaxed_lp(const Instance& instance, double T,
+                                          const lp::SimplexOptions& options,
+                                          std::size_t* iterations) {
   const std::size_t m = instance.num_machines();
   const std::size_t kc = instance.num_classes();
   const auto by_class = instance.jobs_by_class();
@@ -98,7 +100,8 @@ std::optional<RelaxedLp> solve_relaxed_lp(const Instance& instance, double T) {
     }
   }
 
-  const lp::Solution sol = lp::solve(model);
+  const lp::Solution sol = lp::solve(model, options);
+  if (iterations != nullptr) *iterations += sol.iterations;
   if (sol.status == lp::SolveStatus::kInfeasible) return std::nullopt;
   check(sol.optimal(), "LP-RelaxedRA solve failed");
 

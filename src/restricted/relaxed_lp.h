@@ -4,6 +4,7 @@
 
 #include "common/matrix.h"
 #include "core/instance.h"
+#include "lp/simplex.h"
 
 namespace setsched {
 
@@ -23,12 +24,17 @@ struct RelaxedLp {
   double T = 0.0;
 };
 
-/// Solves LP-RelaxedRA for makespan guess T with the simplex (the returned
-/// solution is basic, i.e. an extreme point — required by the pseudoforest
-/// rounding). Returns std::nullopt iff infeasible. Classes without jobs get
-/// an all-zero xbar row.
-[[nodiscard]] std::optional<RelaxedLp> solve_relaxed_lp(const Instance& instance,
-                                                        double T);
+/// Solves LP-RelaxedRA for makespan guess T through the shared lp::solve
+/// entry point (the sparse revised simplex by default; pass options to pin
+/// the tableau oracle). The returned solution is basic, i.e. an extreme
+/// point — required by the pseudoforest rounding, and guaranteed by both
+/// implementations. Returns std::nullopt iff infeasible. Classes without
+/// jobs get an all-zero xbar row. When `iterations` is non-null the solve's
+/// simplex iteration count is ADDED to it (also for infeasible probes,
+/// which still cost pivots — the T-search reports the sum).
+[[nodiscard]] std::optional<RelaxedLp> solve_relaxed_lp(
+    const Instance& instance, double T, const lp::SimplexOptions& options = {},
+    std::size_t* iterations = nullptr);
 
 /// Largest trivially LP-infeasible T:
 ///   max( max_k min_i (s_ik + max_{j∈k} p_ij) ,

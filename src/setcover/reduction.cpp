@@ -89,7 +89,7 @@ ScheduleResult schedule_from_cover(const SetCoverReduction& reduction,
       schedule.assignment[j] = chosen;
     }
   }
-  return {schedule, makespan(inst, schedule)};
+  return {schedule, makespan(inst, schedule), {}};
 }
 
 double reduction_makespan_lower_bound(std::size_t num_classes,

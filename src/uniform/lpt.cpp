@@ -44,7 +44,7 @@ ScheduleResult lpt_uniform(const UniformInstance& instance) {
   instance.validate();
   const auto assignment = lpt_items(instance.job_size, instance.speed);
   Schedule schedule{assignment};
-  return {schedule, makespan(instance, schedule)};
+  return {schedule, makespan(instance, schedule), {}};
 }
 
 ScheduleResult lpt_with_placeholders(const UniformInstance& instance) {
@@ -139,7 +139,7 @@ ScheduleResult lpt_with_placeholders(const UniformInstance& instance) {
   }
 
   check(schedule.complete(), "LPT left a job unassigned");
-  return {schedule, makespan(instance, schedule)};
+  return {schedule, makespan(instance, schedule), {}};
 }
 
 }  // namespace setsched

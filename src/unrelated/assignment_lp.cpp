@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "core/bounds.h"
@@ -14,16 +15,23 @@ constexpr std::size_t kNoVar = SIZE_MAX;
 
 }  // namespace
 
-std::optional<FractionalAssignment> solve_assignment_lp(
-    const Instance& instance, double T, const AssignmentLpOptions& options) {
+ParametricAssignmentLp::ParametricAssignmentLp(
+    const Instance& instance, double T_build,
+    const AssignmentLpOptions& options)
+    : instance_(&instance),
+      options_(options),
+      T_build_(T_build),
+      model_(lp::Objective::kMinimize),
+      xv_(instance.num_machines(), instance.num_jobs(), kNoVar),
+      yv_(instance.num_machines(), instance.num_classes(), kNoVar),
+      packing_row_(instance.num_machines(), instance.num_classes(), kNoVar) {
   const std::size_t n = instance.num_jobs();
   const std::size_t m = instance.num_machines();
   const std::size_t kc = instance.num_classes();
+  const double T = T_build;
 
-  lp::Model model(lp::Objective::kMinimize);
-
-  // x variables for pairs allowed by (5) (and (9) when strengthening).
-  Matrix<std::size_t> xv(m, n, kNoVar);
+  // x variables for pairs allowed by (5) (and (9) when strengthening) at the
+  // loosest guess T_build; tighter probes shrink the set via upper bounds.
   for (MachineId i = 0; i < m; ++i) {
     for (JobId j = 0; j < n; ++j) {
       if (!instance.eligible(i, j)) continue;
@@ -32,17 +40,16 @@ std::optional<FractionalAssignment> solve_assignment_lp(
           instance.proc(i, j) + instance.setup_for_job(i, j) > T) {
         continue;
       }
-      xv(i, j) = model.add_variable(0.0, 1.0, 0.0);
+      xv_(i, j) = model_.add_variable(0.0, 1.0, 0.0);
     }
   }
   // y variables; objective = minimize total fractional setups.
-  Matrix<std::size_t> yv(m, kc, kNoVar);
   const auto by_class = instance.jobs_by_class();
   for (MachineId i = 0; i < m; ++i) {
     for (ClassId k = 0; k < kc; ++k) {
       if (instance.setup(i, k) >= kInfinity) continue;
       if (options.strengthen && instance.setup(i, k) > T) continue;  // (10)
-      yv(i, k) = model.add_variable(0.0, 1.0, 1.0);
+      yv_(i, k) = model_.add_variable(0.0, 1.0, 1.0);
     }
   }
 
@@ -50,78 +57,148 @@ std::optional<FractionalAssignment> solve_assignment_lp(
   for (JobId j = 0; j < n; ++j) {
     std::vector<lp::Entry> row;
     for (MachineId i = 0; i < m; ++i) {
-      if (xv(i, j) != kNoVar) row.push_back({xv(i, j), 1.0});
+      if (xv_(i, j) != kNoVar) row.push_back({xv_(i, j), 1.0});
     }
-    if (row.empty()) return std::nullopt;  // job cannot run anywhere under T
-    model.add_constraint(std::move(row), lp::Sense::kEqual, 1.0);
+    if (row.empty()) {  // job cannot run anywhere under T_build
+      structurally_infeasible_ = true;
+      return;
+    }
+    model_.add_constraint(std::move(row), lp::Sense::kEqual, 1.0);
   }
 
-  // (1): machine load.
+  // (1): machine load, rhs = T (re-parameterized per probe).
+  load_row_.assign(m, kNoVar);
   for (MachineId i = 0; i < m; ++i) {
     std::vector<lp::Entry> row;
     for (JobId j = 0; j < n; ++j) {
-      if (xv(i, j) != kNoVar) row.push_back({xv(i, j), instance.proc(i, j)});
+      if (xv_(i, j) != kNoVar) row.push_back({xv_(i, j), instance.proc(i, j)});
     }
     for (ClassId k = 0; k < kc; ++k) {
-      if (yv(i, k) != kNoVar) row.push_back({yv(i, k), instance.setup(i, k)});
+      if (yv_(i, k) != kNoVar) row.push_back({yv_(i, k), instance.setup(i, k)});
     }
     if (!row.empty()) {
-      model.add_constraint(std::move(row), lp::Sense::kLessEqual, T);
+      load_row_[i] = model_.add_constraint(std::move(row),
+                                           lp::Sense::kLessEqual, T);
     }
   }
 
   // (4): setup dominates assignment, per eligible (i, j).
   for (MachineId i = 0; i < m; ++i) {
     for (JobId j = 0; j < n; ++j) {
-      if (xv(i, j) == kNoVar) continue;
+      if (xv_(i, j) == kNoVar) continue;
       const ClassId k = instance.job_class(j);
-      if (yv(i, k) == kNoVar) return std::nullopt;  // x allowed but y not
-      model.add_constraint({{yv(i, k), 1.0}, {xv(i, j), -1.0}},
-                           lp::Sense::kGreaterEqual, 0.0);
+      if (yv_(i, k) == kNoVar) {  // x allowed but y not (unreachable for
+        structurally_infeasible_ = true;  // validated instances)
+        return;
+      }
+      model_.add_constraint({{yv_(i, k), 1.0}, {xv_(i, j), -1.0}},
+                            lp::Sense::kGreaterEqual, 0.0);
     }
   }
 
-  // (8): class-level packing rows (strengthening only).
+  // (8): class-level packing rows (strengthening only); the y coefficient
+  // s_ik - T is re-parameterized per probe.
   if (options.strengthen) {
     for (MachineId i = 0; i < m; ++i) {
       for (ClassId k = 0; k < kc; ++k) {
-        if (yv(i, k) == kNoVar) continue;
+        if (yv_(i, k) == kNoVar) continue;
         std::vector<lp::Entry> row;
         for (const JobId j : by_class[k]) {
-          if (xv(i, j) != kNoVar) row.push_back({xv(i, j), instance.proc(i, j)});
+          if (xv_(i, j) != kNoVar) {
+            row.push_back({xv_(i, j), instance.proc(i, j)});
+          }
         }
         if (row.empty()) continue;
-        row.push_back({yv(i, k), instance.setup(i, k) - T});
-        model.add_constraint(std::move(row), lp::Sense::kLessEqual, 0.0);
+        row.push_back({yv_(i, k), instance.setup(i, k) - T});
+        packing_row_(i, k) =
+            model_.add_constraint(std::move(row), lp::Sense::kLessEqual, 0.0);
       }
     }
   }
+}
 
-  const lp::Solution sol = lp::solve(model, options.simplex);
+void ParametricAssignmentLp::reparameterize(double T) {
+  const Instance& inst = *instance_;
+  const std::size_t n = inst.num_jobs();
+  const std::size_t m = inst.num_machines();
+  const std::size_t kc = inst.num_classes();
+  for (MachineId i = 0; i < m; ++i) {
+    for (JobId j = 0; j < n; ++j) {
+      const std::size_t v = xv_(i, j);
+      if (v == kNoVar) continue;
+      const bool allowed =
+          inst.proc(i, j) <= T &&
+          (!options_.strengthen ||
+           inst.proc(i, j) + inst.setup_for_job(i, j) <= T);
+      model_.set_bounds(v, 0.0, allowed ? 1.0 : 0.0);
+    }
+    for (ClassId k = 0; k < kc; ++k) {
+      const std::size_t v = yv_(i, k);
+      if (v == kNoVar) continue;
+      const bool allowed = !options_.strengthen || inst.setup(i, k) <= T;
+      model_.set_bounds(v, 0.0, allowed ? 1.0 : 0.0);
+      if (packing_row_(i, k) != kNoVar) {
+        model_.update_entry(packing_row_(i, k), v, inst.setup(i, k) - T);
+      }
+    }
+    if (load_row_[i] != kNoVar) model_.set_rhs(load_row_[i], T);
+  }
+}
+
+std::optional<FractionalAssignment> ParametricAssignmentLp::solve(double T) {
+  ++lp_solves_;
+  last_iterations_ = 0;
+  if (structurally_infeasible_) return std::nullopt;
+  check(T <= T_build_ * (1.0 + 1e-9) + 1e-12,
+        "parametric assignment LP probed above its build guess");
+  reparameterize(T);
+
+  lp::SimplexOptions simplex = options_.simplex;
+  if (!basis_.empty()) simplex.warm_start = &basis_;
+  const lp::Solution sol = lp::solve(model_, simplex);
+  iterations_ += sol.iterations;
+  last_iterations_ = sol.iterations;
+  // Only optimal bases join the warm-start chain: the end basis of an
+  // infeasible probe is a phase-1 artifact (heavily degenerate, pinned
+  // against the violated rows) and measurably poisons the next probe,
+  // costing more iterations than a cold start.
+  if (sol.optimal() && !sol.basis.empty()) basis_ = sol.basis;
+
   if (sol.status == lp::SolveStatus::kInfeasible) return std::nullopt;
   check(sol.optimal(), "assignment LP solve failed (not optimal/infeasible)");
 
-  FractionalAssignment frac{Matrix<double>(m, n, 0.0), Matrix<double>(m, kc, 0.0)};
+  const Instance& inst = *instance_;
+  const std::size_t n = inst.num_jobs();
+  const std::size_t m = inst.num_machines();
+  const std::size_t kc = inst.num_classes();
+  FractionalAssignment frac{Matrix<double>(m, n, 0.0),
+                            Matrix<double>(m, kc, 0.0)};
   for (MachineId i = 0; i < m; ++i) {
     for (JobId j = 0; j < n; ++j) {
-      if (xv(i, j) != kNoVar) {
-        frac.x(i, j) = std::clamp(sol.x[xv(i, j)], 0.0, 1.0);
+      if (xv_(i, j) != kNoVar) {
+        frac.x(i, j) = std::clamp(sol.x[xv_(i, j)], 0.0, 1.0);
       }
     }
     for (ClassId k = 0; k < kc; ++k) {
-      if (yv(i, k) != kNoVar) {
-        frac.y(i, k) = std::clamp(sol.x[yv(i, k)], 0.0, 1.0);
+      if (yv_(i, k) != kNoVar) {
+        frac.y(i, k) = std::clamp(sol.x[yv_(i, k)], 0.0, 1.0);
       }
     }
   }
   // Guard (4) against roundoff so rounding probabilities stay in [0, 1].
   for (MachineId i = 0; i < m; ++i) {
     for (JobId j = 0; j < n; ++j) {
-      const ClassId k = instance.job_class(j);
+      const ClassId k = inst.job_class(j);
       frac.y(i, k) = std::max(frac.y(i, k), frac.x(i, j));
     }
   }
   return frac;
+}
+
+std::optional<FractionalAssignment> solve_assignment_lp(
+    const Instance& instance, double T, const AssignmentLpOptions& options) {
+  ParametricAssignmentLp lp(instance, T, options);
+  return lp.solve(T);
 }
 
 double assignment_lp_floor(const Instance& instance) {
@@ -148,41 +225,49 @@ LpSearchResult search_assignment_lp(const Instance& instance, double precision,
   // Seed the left endpoint with the setup-aware combinatorial bound from
   // core/bounds as well: it dominates the setup-blind LP floor whenever
   // setups matter, shrinking the [lo, hi] window and so the number of
-  // simplex solves the geometric search needs (the unrelated-medium hot
-  // path). Both seeds are lower bounds on OPT, so `lo` stays one.
+  // simplex solves the geometric search needs. Both seeds are lower bounds
+  // on OPT, so `lo` stays one.
   double lo = std::max(assignment_lp_floor(instance),
                        unrelated_lower_bound(instance));
   double hi = unrelated_upper_bound(instance);
   check(hi >= lo * 0.999999, "upper bound below LP floor");
   lo = std::min(lo, hi);
 
-  // The floor value itself might be feasible; test it first so `lo` keeps the
-  // invariant "infeasible or equal to the final feasible T".
-  ++out.lp_solves;
-  if (auto at_lo = solve_assignment_lp(instance, lo, options)) {
-    out.feasible_T = lo;
-    out.lower_bound = lo;
-    out.fractional = std::move(*at_lo);
-    return out;
-  }
-
-  auto best = solve_assignment_lp(instance, hi, options);
-  ++out.lp_solves;
+  // One model for the whole search, built at the loosest guess. The hi
+  // solve runs first: it must happen anyway whenever lo is infeasible (the
+  // common case), it seeds the warm-start chain for every later probe, and
+  // its solution is reused as `best` at window exit without a re-solve.
+  ParametricAssignmentLp lp(instance, hi, options);
+  auto best = lp.solve(hi);
   check(best.has_value(), "LP infeasible at a feasible schedule's makespan");
+
+  const auto finish = [&](double feasible_T, double lower_bound,
+                          FractionalAssignment fractional) {
+    out.feasible_T = feasible_T;
+    out.lower_bound = lower_bound;
+    out.fractional = std::move(fractional);
+    out.lp_solves = lp.lp_solves();
+    out.simplex_iterations = lp.simplex_iterations();
+    return std::move(out);
+  };
+
+  // The floor value itself might be feasible; test it before bisecting so
+  // `lo` keeps the invariant "infeasible or equal to the final feasible T".
+  if (lo < hi) {
+    if (auto at_lo = lp.solve(lo)) {
+      return finish(lo, lo, std::move(*at_lo));
+    }
+  }
   while (hi / lo > 1.0 + precision) {
     const double mid = std::sqrt(lo * hi);
-    ++out.lp_solves;
-    if (auto sol = solve_assignment_lp(instance, mid, options)) {
+    if (auto sol = lp.solve(mid)) {
       hi = mid;
       best = std::move(sol);
     } else {
       lo = mid;
     }
   }
-  out.feasible_T = hi;
-  out.lower_bound = lo;
-  out.fractional = std::move(*best);
-  return out;
+  return finish(hi, lo, std::move(*best));
 }
 
 }  // namespace setsched

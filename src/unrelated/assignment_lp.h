@@ -29,6 +29,58 @@ struct AssignmentLpOptions {
   lp::SimplexOptions simplex = {};
 };
 
+/// The relaxation of ILP-UM built ONCE at its loosest makespan guess and
+/// re-parameterized in place for every subsequent probe: the T-dependent
+/// eligibility filters (5)/(9)/(10) become variable upper bounds (0 when a
+/// pair is filtered at the probe's T), T itself appears only in the machine
+/// load rhs (1) and the strengthened packing coefficients (8). Because the
+/// column layout never changes, each solve warm-starts the revised simplex
+/// from the previous probe's basis — this is what turns the geometric
+/// T-search from a chain of cold phase-1 solves into a chain of short
+/// re-optimizations.
+class ParametricAssignmentLp {
+ public:
+  /// Builds the relaxation at guess `T_build`. Probes must satisfy
+  /// T <= T_build (the variable set is the one admissible at T_build).
+  ParametricAssignmentLp(const Instance& instance, double T_build,
+                         const AssignmentLpOptions& options = {});
+
+  /// Re-parameterizes the model to T and solves, warm-starting from the
+  /// basis of the previous call (feasible or not). Returns std::nullopt iff
+  /// the LP is infeasible at T.
+  [[nodiscard]] std::optional<FractionalAssignment> solve(double T);
+
+  /// Number of solve() calls so far.
+  [[nodiscard]] std::size_t lp_solves() const noexcept { return lp_solves_; }
+  /// Total simplex iterations across all solves.
+  [[nodiscard]] std::size_t simplex_iterations() const noexcept {
+    return iterations_;
+  }
+  /// Simplex iterations of the most recent solve.
+  [[nodiscard]] std::size_t last_iterations() const noexcept {
+    return last_iterations_;
+  }
+
+ private:
+  void reparameterize(double T);
+
+  const Instance* instance_;
+  AssignmentLpOptions options_;
+  double T_build_;
+  /// True when the model could not be built at T_build (a job fits nowhere);
+  /// every probe at T <= T_build is then infeasible a fortiori.
+  bool structurally_infeasible_ = false;
+  lp::Model model_;
+  Matrix<std::size_t> xv_;              ///< m x n variable ids (SIZE_MAX = none)
+  Matrix<std::size_t> yv_;              ///< m x K variable ids
+  std::vector<std::size_t> load_row_;   ///< per machine (SIZE_MAX = none)
+  Matrix<std::size_t> packing_row_;     ///< m x K strengthened rows (8)
+  lp::Basis basis_;                     ///< warm-start chain across probes
+  std::size_t lp_solves_ = 0;
+  std::size_t iterations_ = 0;
+  std::size_t last_iterations_ = 0;
+};
+
 /// Solves the relaxation of ILP-UM for makespan guess T. Among feasible
 /// solutions, one minimizing Σ y_ik is returned (y as tight as possible
 /// against constraint (4), which only helps the rounding probabilities).
@@ -46,12 +98,16 @@ struct AssignmentLpOptions {
 /// (the search starts from max(assignment_lp_floor, unrelated_lower_bound));
 /// returns the fractional solution at hi. `lo` is a valid lower bound on OPT
 /// (though the plain LP relaxation may already be feasible below the
-/// setup-aware combinatorial seed).
+/// setup-aware combinatorial seed). The model is built once at the initial
+/// `hi` and every probe warm-starts from the previous basis; the `hi` solve
+/// runs first so it seeds the chain and doubles as the returned solution
+/// when no tighter probe succeeds.
 struct LpSearchResult {
   double feasible_T = 0.0;    ///< hi: LP feasible here (solution below)
   double lower_bound = 0.0;   ///< lo: OPT is >= this
   FractionalAssignment fractional;
   std::size_t lp_solves = 0;
+  std::size_t simplex_iterations = 0;  ///< summed over all probes
 };
 [[nodiscard]] LpSearchResult search_assignment_lp(
     const Instance& instance, double precision = 0.05,

@@ -48,7 +48,7 @@ ScheduleResult greedy_min_load(const Instance& instance) {
     load[best] = best_load;
     has_class[best * kc + k] = 1;
   }
-  return {schedule, makespan(instance, schedule)};
+  return {schedule, makespan(instance, schedule), {}};
 }
 
 ScheduleResult greedy_class_batch(const Instance& instance) {
@@ -117,7 +117,7 @@ ScheduleResult greedy_class_batch(const Instance& instance) {
     for (const JobId j : by_class[k]) schedule.assignment[j] = best;
     load[best] = best_load;
   }
-  return {schedule, makespan(instance, schedule)};
+  return {schedule, makespan(instance, schedule), {}};
 }
 
 ScheduleResult cover_greedy(const Instance& instance) {
@@ -171,7 +171,7 @@ ScheduleResult cover_greedy(const Instance& instance) {
     unassigned -= best_batch.size();
   }
 
-  return {schedule, makespan(instance, schedule)};
+  return {schedule, makespan(instance, schedule), {}};
 }
 
 }  // namespace setsched

@@ -82,6 +82,7 @@ RoundingResult randomized_rounding(const Instance& instance,
   out.lp_lower_bound = lp.lower_bound;
   out.rounds = rounds;
   out.lp_solves = lp.lp_solves;
+  out.lp_iterations = lp.simplex_iterations;
 
   Xoshiro256 seeder(options.seed);
   std::vector<std::uint64_t> trial_seeds(options.trials);
@@ -133,7 +134,8 @@ ScheduleResult argmax_rounding(const Instance& instance,
       }
     }
   }
-  return {schedule, makespan(instance, schedule)};
+  return {schedule, makespan(instance, schedule),
+          {lp.lp_solves, lp.simplex_iterations}};
 }
 
 }  // namespace setsched

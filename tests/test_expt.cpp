@@ -26,6 +26,7 @@ TEST(ExptPlan, ParsesKeyValueFile) {
       "epsilon = 0.25\n"
       "precision = 0.1\n"
       "time_limit_s = 2.5\n"
+      "lp = tableau\n"
       "threads = 3\n"
       "timing = off\n");
   const ExperimentPlan plan = parse_plan(is);
@@ -37,6 +38,7 @@ TEST(ExptPlan, ParsesKeyValueFile) {
   EXPECT_DOUBLE_EQ(plan.epsilon, 0.25);
   EXPECT_DOUBLE_EQ(plan.precision, 0.1);
   EXPECT_DOUBLE_EQ(plan.time_limit_s, 2.5);
+  EXPECT_EQ(plan.lp_algorithm, lp::SimplexAlgorithm::kTableau);
   EXPECT_EQ(plan.threads, 3u);
   EXPECT_FALSE(plan.record_timing);
   EXPECT_EQ(plan.num_seeds(), 3u);
@@ -83,6 +85,18 @@ TEST(ExptPlan, RejectsMalformedFiles) {
   EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
                      "epsilon = -1\n"),
                CheckError);
+  EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
+                     "lp = dense\n"),
+               CheckError);
+}
+
+TEST(ExptPlan, LpAlgorithmNamesRoundTrip) {
+  for (const auto algorithm :
+       {lp::SimplexAlgorithm::kAuto, lp::SimplexAlgorithm::kTableau,
+        lp::SimplexAlgorithm::kRevised}) {
+    EXPECT_EQ(lp_algorithm_from_name(lp_algorithm_name(algorithm)), algorithm);
+  }
+  EXPECT_THROW((void)lp_algorithm_from_name("simplex"), CheckError);
 }
 
 TEST(ExptPlan, CellKeyOrderIsPresetSeedSolver) {
@@ -131,6 +145,8 @@ RunRecord sample_record() {
   r.ratio = r.makespan / r.lower_bound;
   r.setups = 9;
   r.time_ms = 0.125;
+  r.lp_solves = 7;
+  r.lp_iterations = 431;
   r.epsilon = 0.5;
   r.precision = 0.05;
   r.time_limit_s = 10.0;
@@ -196,8 +212,8 @@ TEST(ExptRecordIo, CsvHeaderAndQuoting) {
   const std::string out = os.str();
   EXPECT_EQ(out.substr(0, out.find('\n')),
             "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
-            "lower_bound,ratio,setups,time_ms,epsilon,precision,time_limit_s,"
-            "error");
+            "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,"
+            "epsilon,precision,time_limit_s,error");
   EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
 }
 
@@ -258,6 +274,9 @@ TEST(ExptHarness, RecordsCarryCellKeysStatusesAndBounds) {
       // The lower bound is genuine, so validated makespans sit above it.
       EXPECT_GE(r.ratio, 1.0 - 1e-9);
       EXPECT_NEAR(r.ratio, r.makespan / r.lower_bound, 1e-12);
+      // LP-free solvers report zero solver-level LP effort.
+      EXPECT_EQ(r.lp_solves, 0u);
+      EXPECT_EQ(r.lp_iterations, 0u);
     } else {
       EXPECT_DOUBLE_EQ(r.makespan, 0.0);
       EXPECT_TRUE(r.error.empty());
@@ -268,22 +287,27 @@ TEST(ExptHarness, RecordsCarryCellKeysStatusesAndBounds) {
 // --- aggregation -----------------------------------------------------------
 
 RunRecord bucket_record(const std::string& solver, const std::string& preset,
-                        RunStatus status, double ratio, double time_ms) {
+                        RunStatus status, double ratio, double time_ms,
+                        std::size_t lp_solves = 0,
+                        std::size_t lp_iterations = 0) {
   RunRecord r;
   r.solver = solver;
   r.preset = preset;
   r.status = status;
   r.ratio = ratio;
   r.time_ms = time_ms;
+  r.lp_solves = lp_solves;
+  r.lp_iterations = lp_iterations;
   return r;
 }
 
 TEST(ExptAggregate, MatchesHandComputedFixture) {
   const std::vector<RunRecord> records{
-      // zeta/p1: ratios {1.0, 1.5, 2.0}, times {10, 20, 30}, 1 skip, 1 error.
-      bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0),
-      bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0),
-      bucket_record("zeta", "p1", RunStatus::kOk, 2.0, 30.0),
+      // zeta/p1: ratios {1.0, 1.5, 2.0}, times {10, 20, 30}, lp solves
+      // {8, 6, 10} and iterations {400, 200, 600}, 1 skip, 1 error.
+      bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0, 8, 400),
+      bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0, 6, 200),
+      bucket_record("zeta", "p1", RunStatus::kOk, 2.0, 30.0, 10, 600),
       bucket_record("zeta", "p1", RunStatus::kSkipped, 0.0, 0.0),
       bucket_record("zeta", "p1", RunStatus::kError, 0.0, 0.0),
       // alpha/p2: every cell failed -> zeroed statistics, not UB or a throw.
@@ -324,6 +348,9 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
   EXPECT_DOUBLE_EQ(summaries[2].time_p50_ms, 20.0);
   // percentile([10,20,30], 0.95): position 1.9 -> 20 * 0.1 + 30 * 0.9 = 29.
   EXPECT_NEAR(summaries[2].time_p95_ms, 29.0, 1e-12);
+  EXPECT_DOUBLE_EQ(summaries[2].lp_solves_mean, 8.0);
+  EXPECT_DOUBLE_EQ(summaries[2].lp_iterations_mean, 400.0);
+  EXPECT_DOUBLE_EQ(summaries[0].lp_solves_mean, 0.0);
 }
 
 TEST(ExptAggregate, SummaryTableHasOneRowPerBucket) {
@@ -355,6 +382,9 @@ TEST(ExptAggregate, BenchJsonContainsPlanCountsAndSummaries) {
   EXPECT_NE(out.find("\"ok\": 1"), std::string::npos);
   EXPECT_NE(out.find("\"skipped\": 1"), std::string::npos);
   EXPECT_NE(out.find("\"ratio_mean\": 1.5"), std::string::npos);
+  EXPECT_NE(out.find("\"lp\": \"auto\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_solves_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_iterations_mean\""), std::string::npos);
   EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
             std::count(out.begin(), out.end(), '}'));
 }

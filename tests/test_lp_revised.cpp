@@ -1,0 +1,380 @@
+// Differential suite pinning the sparse revised simplex against the dense
+// two-phase tableau (the reference oracle), on seeded random LPs and on the
+// real scheduling LPs the algorithms build, plus warm-start regression
+// coverage for the re-parameterized assignment-LP T-search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "api/presets.h"
+#include "colgen/config_lp.h"
+#include "common/prng.h"
+#include "core/bounds.h"
+#include "core/generators.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "restricted/relaxed_lp.h"
+#include "unrelated/assignment_lp.h"
+
+namespace setsched::lp {
+namespace {
+
+SimplexOptions with(SimplexAlgorithm algorithm) {
+  SimplexOptions options;
+  options.algorithm = algorithm;
+  return options;
+}
+
+/// Checks that (x, duals) is an optimal certificate: primal feasibility,
+/// dual feasibility of the reduced costs under the documented convention
+/// (d_j = c_j - y^T A_j in the model's original sense), and complementary
+/// slackness on the rows.
+void expect_optimality_certificate(const Model& m, const Solution& sol,
+                                   double tol = 1e-5) {
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_LE(m.max_violation(sol.x), tol);
+  const double sense = m.objective_sense() == Objective::kMinimize ? 1.0 : -1.0;
+  // Reduced costs per column.
+  std::vector<double> reduced(m.num_variables());
+  for (std::size_t j = 0; j < m.num_variables(); ++j) {
+    reduced[j] = m.objective(j);
+  }
+  for (std::size_t r = 0; r < m.num_constraints(); ++r) {
+    for (const Entry& e : m.row(r)) reduced[e.col] -= sol.duals[r] * e.value;
+  }
+  for (std::size_t j = 0; j < m.num_variables(); ++j) {
+    const double d = sense * reduced[j];  // internal-minimize sign
+    const bool at_lower = sol.x[j] <= m.lower(j) + tol;
+    const bool at_upper =
+        std::isfinite(m.upper(j)) && sol.x[j] >= m.upper(j) - tol;
+    if (!at_lower && !at_upper) {
+      EXPECT_NEAR(d, 0.0, tol) << "interior var " << j;
+    } else {
+      if (at_lower && !at_upper) {
+        EXPECT_GE(d, -tol) << "at-lower var " << j;
+      }
+      if (at_upper && !at_lower) {
+        EXPECT_LE(d, tol) << "at-upper var " << j;
+      }
+    }
+  }
+  // Complementary slackness: a nonzero row dual needs a binding row.
+  for (std::size_t r = 0; r < m.num_constraints(); ++r) {
+    if (m.row_sense(r) == Sense::kEqual) continue;
+    if (std::abs(sol.duals[r]) > tol) {
+      EXPECT_NEAR(m.row_activity(r, sol.x), m.rhs(r),
+                  tol * std::max(1.0, std::abs(m.rhs(r))))
+          << "row " << r;
+    }
+  }
+}
+
+/// Extreme-point structure: at most num_constraints variables strictly
+/// between their bounds, and every such variable flagged basic.
+void expect_extreme_point(const Model& m, const Solution& sol,
+                          double tol = 1e-7) {
+  std::size_t interior = 0;
+  for (std::size_t j = 0; j < m.num_variables(); ++j) {
+    const bool inside = sol.x[j] > m.lower(j) + tol &&
+                        (!std::isfinite(m.upper(j)) ||
+                         sol.x[j] < m.upper(j) - tol);
+    if (inside) {
+      ++interior;
+      EXPECT_TRUE(sol.basic[j]) << "interior var " << j << " not basic";
+    }
+  }
+  EXPECT_LE(interior, m.num_constraints());
+  std::size_t basics = 0;
+  for (std::size_t j = 0; j < m.num_variables(); ++j) {
+    basics += sol.basic[j] ? 1 : 0;
+  }
+  EXPECT_LE(basics, m.num_constraints());
+}
+
+/// bench_util-style seeded random LP: box-bounded variables, mixed <= / =
+/// rows built around a known feasible point so the instance is never vacuous.
+Model random_lp(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::size_t nvars = 4 + rng.next_below(12);  // 4..15
+  const std::size_t ncons = 2 + rng.next_below(8);   // 2..9
+  Model m(rng.next_bernoulli(0.5) ? Objective::kMaximize
+                                  : Objective::kMinimize);
+  std::vector<double> point(nvars);
+  for (std::size_t j = 0; j < nvars; ++j) {
+    const double ub =
+        rng.next_bernoulli(0.8) ? rng.next_real(0.5, 4.0) : kInfinity;
+    m.add_variable(0, ub, rng.next_real(-3, 3));
+    point[j] = rng.next_real(0, std::isfinite(ub) ? ub : 1.0);
+  }
+  for (std::size_t r = 0; r < ncons; ++r) {
+    std::vector<Entry> row;
+    double activity = 0.0;
+    for (std::size_t j = 0; j < nvars; ++j) {
+      if (rng.next_bernoulli(0.3)) continue;  // keep rows sparse
+      const double coef = rng.next_real(-1.5, 2.5);
+      row.push_back({j, coef});
+      activity += coef * point[j];
+    }
+    if (row.empty()) row.push_back({0, 1.0}), activity = point[0];
+    const auto sense =
+        rng.next_bernoulli(0.6) ? Sense::kLessEqual : Sense::kEqual;
+    m.add_constraint(std::move(row), sense,
+                     sense == Sense::kEqual ? activity
+                                            : activity + rng.next_real(0, 2));
+  }
+  return m;
+}
+
+class DifferentialLpTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialLpTest, RevisedMatchesTableauOracle) {
+  const Model m = random_lp(GetParam() * 7919 + 101);
+  const Solution tableau = solve(m, with(SimplexAlgorithm::kTableau));
+  const Solution revised = solve(m, with(SimplexAlgorithm::kRevised));
+  ASSERT_EQ(tableau.status, revised.status) << "seed " << GetParam();
+  if (!tableau.optimal()) return;
+  EXPECT_NEAR(tableau.objective, revised.objective,
+              1e-6 * std::max(1.0, std::abs(tableau.objective)))
+      << "seed " << GetParam();
+  expect_optimality_certificate(m, tableau);
+  expect_optimality_certificate(m, revised);
+  expect_extreme_point(m, revised);
+  // The revised solver returns a reusable basis snapshot.
+  EXPECT_EQ(revised.basis.structurals.size(), m.num_variables());
+  EXPECT_EQ(revised.basis.logicals.size(), m.num_constraints());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialLpTest,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(DifferentialLp, UnboundedAndInfeasibleVerdictsAgree) {
+  {
+    Model m(Objective::kMaximize);
+    const auto x = m.add_variable(0, kInfinity, 1);
+    const auto y = m.add_variable(0, kInfinity, 0);
+    m.add_constraint({{x, 1}, {y, -1}}, Sense::kLessEqual, 1);
+    EXPECT_EQ(solve(m, with(SimplexAlgorithm::kTableau)).status,
+              SolveStatus::kUnbounded);
+    EXPECT_EQ(solve(m, with(SimplexAlgorithm::kRevised)).status,
+              SolveStatus::kUnbounded);
+  }
+  {
+    Model m(Objective::kMinimize);
+    const auto x = m.add_variable(0, 1, 0);
+    const auto y = m.add_variable(0, 1, 0);
+    m.add_constraint({{x, 1}, {y, 1}}, Sense::kGreaterEqual, 3);
+    EXPECT_EQ(solve(m, with(SimplexAlgorithm::kTableau)).status,
+              SolveStatus::kInfeasible);
+    const Solution revised = solve(m, with(SimplexAlgorithm::kRevised));
+    EXPECT_EQ(revised.status, SolveStatus::kInfeasible);
+    // Even an infeasible probe hands back a basis for the next warm start.
+    EXPECT_FALSE(revised.basis.empty());
+  }
+}
+
+TEST(DifferentialLp, WarmStartReproducesOptimumAfterReparameterization) {
+  // min x + 2y st x + y >= 4, x <= 3, y <= 5  ->  x=3, y=1, obj=5.
+  Model m(Objective::kMinimize);
+  const auto x = m.add_variable(0, 3, 1);
+  const auto y = m.add_variable(0, 5, 2);
+  const auto row = m.add_constraint({{x, 1}, {y, 1}}, Sense::kGreaterEqual, 4);
+  const Solution first = solve(m, with(SimplexAlgorithm::kRevised));
+  ASSERT_TRUE(first.optimal());
+  EXPECT_NEAR(first.objective, 5.0, 1e-7);
+
+  // Re-parameterize: tighter x, larger demand, new coefficient.
+  m.set_bounds(x, 0, 2);
+  m.set_rhs(row, 6);
+  m.update_entry(row, y, 2.0);  // x + 2y >= 6 -> x=2, y=2, obj=6.
+  SimplexOptions warm = with(SimplexAlgorithm::kRevised);
+  warm.warm_start = &first.basis;
+  const Solution second = solve(m, warm);
+  ASSERT_TRUE(second.optimal());
+  EXPECT_NEAR(second.objective, 6.0, 1e-7);
+  const Solution cold = solve(m, with(SimplexAlgorithm::kRevised));
+  EXPECT_NEAR(second.objective, cold.objective, 1e-9);
+}
+
+TEST(DifferentialLp, WarmStartSurvivesAppendedColumns) {
+  // Column-generation shape: maximize coverage, then append a better column
+  // and warm-start from the old (now undersized) basis.
+  Model m(Objective::kMaximize);
+  const auto u = m.add_variable(0, 1, 1);
+  const auto row = m.add_constraint({{u, 1}}, Sense::kLessEqual, 0.5);
+  const Solution first = solve(m, with(SimplexAlgorithm::kRevised));
+  ASSERT_TRUE(first.optimal());
+  EXPECT_NEAR(first.objective, 0.5, 1e-7);
+
+  const auto z = m.add_variable(0, 1, 0.25);
+  m.add_to_row(row, z, -1.0);  // u - z <= 0.5 -> u = 1, z = 1 -> obj 1.25
+  SimplexOptions warm = with(SimplexAlgorithm::kRevised);
+  warm.warm_start = &first.basis;
+  const Solution second = solve(m, warm);
+  ASSERT_TRUE(second.optimal());
+  EXPECT_NEAR(second.objective, 1.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace setsched::lp
+
+namespace setsched {
+namespace {
+
+using lp::SimplexAlgorithm;
+
+AssignmentLpOptions lp_options(SimplexAlgorithm algorithm,
+                               bool strengthen = false) {
+  AssignmentLpOptions options;
+  options.strengthen = strengthen;
+  options.simplex.algorithm = algorithm;
+  return options;
+}
+
+class DifferentialAssignmentLpTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialAssignmentLpTest, FeasibilityAndObjectiveMatchTableau) {
+  UnrelatedGenParams p;
+  p.num_jobs = 10;
+  p.num_machines = 3;
+  p.num_classes = 4;
+  p.eligibility = 0.8;
+  const Instance inst = generate_unrelated(p, GetParam() + 31);
+  const double floor = assignment_lp_floor(inst);
+  for (const bool strengthen : {false, true}) {
+    for (const double factor : {0.6, 0.9, 1.2, 1.8, 3.0}) {
+      const double T = floor * factor;
+      const auto tableau = solve_assignment_lp(
+          inst, T, lp_options(SimplexAlgorithm::kTableau, strengthen));
+      const auto revised = solve_assignment_lp(
+          inst, T, lp_options(SimplexAlgorithm::kRevised, strengthen));
+      ASSERT_EQ(tableau.has_value(), revised.has_value())
+          << "seed " << GetParam() << " T=" << T
+          << " strengthen=" << strengthen;
+      if (!tableau) continue;
+      // Same minimal total fractional setup mass (the LP objective).
+      double mass_tableau = 0.0, mass_revised = 0.0;
+      for (MachineId i = 0; i < inst.num_machines(); ++i) {
+        for (ClassId k = 0; k < inst.num_classes(); ++k) {
+          mass_tableau += tableau->y(i, k);
+          mass_revised += revised->y(i, k);
+        }
+      }
+      EXPECT_NEAR(mass_tableau, mass_revised, 1e-5)
+          << "seed " << GetParam() << " T=" << T;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialAssignmentLpTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(DifferentialRelaxedLp, VerdictsMatchTableauAcrossGuesses) {
+  RestrictedGenParams p;
+  p.num_jobs = 30;
+  p.num_machines = 5;
+  p.num_classes = 8;
+  p.min_eligible = 2;
+  const Instance inst = generate_restricted_class_uniform(p, 5);
+  const double floor = relaxed_lp_floor(inst);
+  lp::SimplexOptions tableau;
+  tableau.algorithm = SimplexAlgorithm::kTableau;
+  lp::SimplexOptions revised;
+  revised.algorithm = SimplexAlgorithm::kRevised;
+  for (const double factor : {0.7, 1.0, 1.4, 2.0}) {
+    const double T = floor * factor;
+    const auto a = solve_relaxed_lp(inst, T, tableau);
+    const auto b = solve_relaxed_lp(inst, T, revised);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "T=" << T;
+  }
+}
+
+TEST(DifferentialConfigLp, StatusAndCoverageMatchTableau) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 3;
+  p.num_classes = 4;
+  const Instance inst = generate_unrelated(p, 9);
+  const double floor = assignment_lp_floor(inst);
+  for (const double factor : {1.0, 2.0, 4.0}) {
+    ConfigLpOptions tableau;
+    tableau.simplex.algorithm = SimplexAlgorithm::kTableau;
+    ConfigLpOptions revised;
+    revised.simplex.algorithm = SimplexAlgorithm::kRevised;
+    const ConfigLpResult a = solve_config_lp(inst, floor * factor, tableau);
+    const ConfigLpResult b = solve_config_lp(inst, floor * factor, revised);
+    EXPECT_EQ(a.status, b.status) << "factor " << factor;
+    EXPECT_NEAR(a.coverage, b.coverage, 1e-5) << "factor " << factor;
+    EXPECT_GT(b.lp_solves, 0u);
+  }
+}
+
+TEST(WarmStart, ProbeAfterSeedTakesFewerIterationsThanColdOnMedium) {
+  // The regression the tentpole exists for: on the unrelated-medium shape
+  // (120 jobs x 10 machines, the ~1.1k-row assignment LP), a warm-started
+  // probe must be strictly cheaper than solving the same probe cold.
+  const ProblemInput input = generate_preset("unrelated-medium", 1);
+  const Instance& inst = input.instance;
+  const double hi = unrelated_upper_bound(inst);
+
+  ParametricAssignmentLp warm_chain(inst, hi);
+  ASSERT_TRUE(warm_chain.solve(hi).has_value());
+  const std::size_t cold_iterations = warm_chain.last_iterations();
+  EXPECT_GT(cold_iterations, 0u);
+
+  const double probe = hi * 0.9;  // next T-search step stays feasible
+  ASSERT_TRUE(warm_chain.solve(probe).has_value());
+  const std::size_t warm_iterations = warm_chain.last_iterations();
+
+  ParametricAssignmentLp cold(inst, probe);
+  ASSERT_TRUE(cold.solve(probe).has_value());
+  const std::size_t cold_probe_iterations = cold.last_iterations();
+
+  EXPECT_LT(warm_iterations, cold_probe_iterations)
+      << "warm-started probe must beat a cold solve";
+  // And not marginally: the warm re-optimization should be a small fraction.
+  EXPECT_LT(warm_iterations * 2, cold_probe_iterations);
+}
+
+TEST(WarmStart, SearchCountersAreReported) {
+  UnrelatedGenParams p;
+  p.num_jobs = 12;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  const Instance inst = generate_unrelated(p, 77);
+  const LpSearchResult r = search_assignment_lp(inst, 0.05);
+  EXPECT_GE(r.lp_solves, 1u);
+  EXPECT_GT(r.simplex_iterations, 0u);
+}
+
+TEST(ParametricAssignmentLp, MatchesOneShotSolvesAcrossProbes) {
+  UnrelatedGenParams p;
+  p.num_jobs = 9;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  const Instance inst = generate_unrelated(p, 4);
+  const double floor = assignment_lp_floor(inst);
+  const double hi = floor * 4.0;
+  ParametricAssignmentLp parametric(inst, hi);
+  for (const double factor : {4.0, 0.5, 1.1, 0.8, 1.6, 1.05}) {
+    const double T = floor * factor;
+    const auto chained = parametric.solve(T);
+    const auto fresh = solve_assignment_lp(inst, T);
+    ASSERT_EQ(chained.has_value(), fresh.has_value()) << "T=" << T;
+    if (!chained) continue;
+    double mass_chained = 0.0, mass_fresh = 0.0;
+    for (MachineId i = 0; i < inst.num_machines(); ++i) {
+      for (ClassId k = 0; k < inst.num_classes(); ++k) {
+        mass_chained += chained->y(i, k);
+        mass_fresh += fresh->y(i, k);
+      }
+    }
+    EXPECT_NEAR(mass_chained, mass_fresh, 1e-5) << "T=" << T;
+  }
+  EXPECT_EQ(parametric.lp_solves(), 6u);
+}
+
+}  // namespace
+}  // namespace setsched
