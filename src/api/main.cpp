@@ -133,8 +133,22 @@ struct RunOutcome {
   double ratio = 0.0;
   std::size_t setups = 0;
   double time_ms = 0.0;
+  SolverStats stats;
   std::string error;
 };
+
+/// Certificate column: "yes" for a proven optimum, the certified gap for a
+/// budget-exhausted exact/dive run, "-" for heuristics. Makes a node/time
+/// budget abort visible instead of masquerading as ground truth.
+std::string describe_certificate(const SolverStats& stats) {
+  if (stats.proven_optimal) return "yes";
+  if (stats.gap >= 0.0) {
+    std::ostringstream os;
+    os << "gap " << format_double(stats.gap);
+    return os.str();
+  }
+  return "-";
+}
 
 RunOutcome run_solver(const std::string& name, const ProblemInput& input,
                       const SolverContext& context, double lower_bound) {
@@ -164,6 +178,7 @@ RunOutcome run_solver(const std::string& name, const ProblemInput& input,
     outcome.makespan = result.makespan;
     outcome.ratio = lower_bound > 0.0 ? result.makespan / lower_bound : 1.0;
     outcome.setups = total_setups(input.instance, result.schedule);
+    outcome.stats = result.stats;
   } catch (const std::exception& e) {
     outcome.error = e.what();
   }
@@ -218,7 +233,8 @@ int run(const CliOptions& options) {
               << format_double(lower_bound) << "\n\n";
   }
 
-  Table table({"solver", "status", "makespan", "ratio_lb", "setups", "time_ms"});
+  Table table({"solver", "status", "makespan", "ratio_lb", "setups", "optimal",
+               "time_ms"});
   bool any_failed = false;
   for (const RunOutcome& outcome : outcomes) {
     table.row().add(outcome.solver);
@@ -227,12 +243,13 @@ int run(const CliOptions& options) {
           .add(outcome.makespan)
           .add(outcome.ratio)
           .add(outcome.setups)
+          .add(describe_certificate(outcome.stats))
           .add(outcome.time_ms, 1);
     } else if (!outcome.supported) {
-      table.add("skipped").add("-").add("-").add("-").add("-");
+      table.add("skipped").add("-").add("-").add("-").add("-").add("-");
     } else {
       any_failed = true;
-      table.add("FAILED").add("-").add("-").add("-").add("-");
+      table.add("FAILED").add("-").add("-").add("-").add("-").add("-");
       std::cerr << "setsched_cli: " << outcome.solver << ": " << outcome.error
                 << "\n";
     }

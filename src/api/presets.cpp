@@ -56,6 +56,18 @@ constexpr Preset kPresets[] = {
        params.correlated = true;
        return ProblemInput::from_unrelated(generate_unrelated(params, seed));
      }},
+    {"unrelated-midsize",
+     [](std::uint64_t seed) {
+       // Mid-size ground-truth scenario: too big to prove (n ~ 40), the
+       // right size for the exact dive mode's gap-certified incumbents.
+       UnrelatedGenParams params;
+       params.num_jobs = 40;
+       params.num_machines = 6;
+       params.num_classes = 8;
+       params.eligibility = 0.85;
+       params.correlated = true;
+       return ProblemInput::from_unrelated(generate_unrelated(params, seed));
+     }},
     {"unrelated-small",
      [](std::uint64_t seed) {
        return ProblemInput::from_unrelated(generate_unrelated({}, seed));

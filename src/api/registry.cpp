@@ -69,6 +69,20 @@ bool is_class_uniform(const ProblemInput& input) {
   return is_class_uniform_processing(input.instance);
 }
 
+/// Surfaces the exact subsystem's result contract: a node/time-budget abort
+/// is visible (proven_optimal false, positive gap) instead of masquerading
+/// as ground truth, and the search effort counters ride along.
+SolverStats exact_stats(const ExactResult& result) {
+  SolverStats stats;
+  stats.lp_solves = result.lp_bounds_used;
+  stats.lp_iterations = result.lp_iterations;
+  stats.nodes = result.nodes;
+  stats.lp_bounds_used = result.lp_bounds_used;
+  stats.proven_optimal = result.proven_optimal;
+  stats.gap = result.gap;
+  return stats;
+}
+
 RoundingOptions rounding_options(const SolverContext& context) {
   RoundingOptions options;
   options.seed = context.seed;
@@ -173,8 +187,18 @@ void register_builtin_solvers(SolverRegistry& registry) {
         ExactOptions options;
         options.time_limit_s = context.time_limit_s;
         options.initial_upper_bound = unrelated_upper_bound(input.instance);
-        return finish(input.instance,
-                      solve_exact(input.instance, options).schedule);
+        options.lp_algorithm = context.lp_algorithm;
+        const ExactResult result = solve_exact(input.instance, options);
+        return finish(input.instance, result.schedule, exact_stats(result));
+      });
+  add("exact-dive", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        ExactOptions options;
+        options.mode = ExactMode::kDive;
+        options.time_limit_s = context.time_limit_s;
+        options.lp_algorithm = context.lp_algorithm;
+        const ExactResult result = solve_exact(input.instance, options);
+        return finish(input.instance, result.schedule, exact_stats(result));
       });
   add("local-search", nullptr,
       [](const ProblemInput& input, const SolverContext&) {

@@ -6,12 +6,25 @@
 
 namespace setsched {
 
-/// Solver-level effort counters, reported alongside a schedule so perf work
-/// can compare algorithms by what they did (LP solves, simplex iterations),
-/// not just by wall clock. Zero for solvers without an LP substrate.
+/// Solver-level effort counters and certificates, reported alongside a
+/// schedule so perf work can compare algorithms by what they did (LP solves,
+/// simplex iterations, search nodes) and quality tables can distinguish
+/// proven optima from budget-exhausted incumbents. Effort fields are zero
+/// for solvers without the corresponding machinery.
 struct SolverStats {
   std::size_t lp_solves = 0;
   std::size_t lp_iterations = 0;
+  /// Search-tree nodes expanded (exact branch-and-bound / dive solvers).
+  std::size_t nodes = 0;
+  /// LP relaxation probes spent on search-tree bounding.
+  std::size_t lp_bounds_used = 0;
+  /// True only when the solver certified its schedule optimal. A search
+  /// solver that ran out of budget MUST leave this false — consumers treat
+  /// proven results as ground truth.
+  bool proven_optimal = false;
+  /// Certified relative optimality gap, >= 0 (0 iff proven_optimal).
+  /// Negative means the solver issues no certificate (heuristics).
+  double gap = -1.0;
 
   [[nodiscard]] bool operator==(const SolverStats&) const = default;
 };

@@ -2,158 +2,172 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
-#include "common/check.h"
 #include "common/timer.h"
 #include "core/bounds.h"
+#include "exact/dive.h"
+#include "exact/dominance.h"
+#include "exact/lp_bound.h"
+#include "exact/search_util.h"
 
 namespace setsched {
 
 namespace {
 
-class Solver {
+using exact::DominanceTable;
+using exact::LpBounder;
+using exact::SearchPlan;
+
+/// ExactMode::kProve: depth-first branch-and-bound (see branch_bound.h).
+class ProveSolver {
  public:
-  Solver(const Instance& inst, const ExactOptions& opt)
+  ProveSolver(const Instance& inst, const ExactOptions& opt)
       : inst_(inst), opt_(opt), m_(inst.num_machines()), kc_(inst.num_classes()) {}
 
   ExactResult run() {
-    order_jobs();
-    precompute();
+    plan_ = exact::build_search_plan(inst_);
 
-    // Incumbent from the trivial greedy schedule.
+    // Incumbent from the trivial greedy schedule. The external bound is
+    // INCLUSIVE and never replaces the incumbent: `incumbent_` is always
+    // the makespan of a schedule we actually hold, while the bound only
+    // tightens the pruning cutoff (a schedule equal to the bound survives).
     best_schedule_ = best_machine_schedule(inst_);
-    best_ = makespan(inst_, best_schedule_);
-    if (opt_.initial_upper_bound > 0.0) {
-      best_ = std::min(best_, opt_.initial_upper_bound);
+    incumbent_ = makespan(inst_, best_schedule_);
+    lower_bound_ = unrelated_lower_bound(inst_);
+    update_cutoff();
+
+    if (opt_.use_lp_bounds && prune_at_ > 0.0 && !incumbent_meets_lb()) {
+      bounder_.emplace(inst_, prune_at_, opt_.lp_algorithm);
+      if (bounder_->available()) {
+        lower_bound_ = std::max(
+            lower_bound_, bounder_->root_lower_bound(lower_bound_, prune_at_,
+                                                     opt_.root_bound_precision));
+      }
     }
 
-    current_ = Schedule::empty(inst_.num_jobs());
-    loads_.assign(m_, 0.0);
-    class_on_.assign(m_ * kc_, 0);
-    dfs(0, 0.0, remaining_min_total_);
+    if (!incumbent_meets_lb()) {
+      current_ = Schedule::empty(inst_.num_jobs());
+      loads_.assign(m_, 0.0);
+      class_on_.assign(m_ * kc_, 0);
+      if (opt_.memo_limit > 0) {
+        memo_.emplace(inst_.num_jobs() + 1, m_, kc_, opt_.memo_limit);
+      }
+      dfs(0, 0.0, plan_.min_total);
+    }
 
     ExactResult out;
     out.schedule = best_schedule_;
     out.makespan = makespan(inst_, best_schedule_);
-    out.proven_optimal = !aborted_;
     out.nodes = nodes_;
+    if (bounder_) {
+      out.lp_bounds_used = bounder_->probes();
+      out.lp_iterations = bounder_->iterations();
+    }
+    exact::certify(&out, lower_bound_, !aborted_);
     return out;
   }
 
  private:
-  void order_jobs() {
-    const std::size_t n = inst_.num_jobs();
-    min_proc_.resize(n);
-    for (JobId j = 0; j < n; ++j) {
-      double mn = kInfinity;
-      for (MachineId i = 0; i < m_; ++i) {
-        if (inst_.eligible(i, j)) mn = std::min(mn, inst_.proc(i, j));
-      }
-      min_proc_[j] = mn;
-    }
-    // Class weight = total min processing; heavier classes first, larger jobs
-    // first within a class (good incumbents early, setups shared early).
-    std::vector<double> class_weight(kc_, 0.0);
-    for (JobId j = 0; j < n; ++j) class_weight[inst_.job_class(j)] += min_proc_[j];
-    order_.resize(n);
-    std::iota(order_.begin(), order_.end(), 0);
-    std::stable_sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
-      const ClassId ka = inst_.job_class(a), kb = inst_.job_class(b);
-      if (ka != kb) {
-        if (class_weight[ka] != class_weight[kb]) {
-          return class_weight[ka] > class_weight[kb];
-        }
-        return ka < kb;
-      }
-      return min_proc_[a] > min_proc_[b];
-    });
-    remaining_min_total_ = std::accumulate(min_proc_.begin(), min_proc_.end(), 0.0);
-  }
-
-  void precompute() {
-    // Machine equivalence classes for symmetry breaking: identical processing
-    // columns and setup rows may be interchanged, so among equivalent *empty*
-    // machines only the first is branched on.
-    machine_rep_.resize(m_);
-    for (MachineId i = 0; i < m_; ++i) {
-      machine_rep_[i] = i;
-      for (MachineId r = 0; r < i; ++r) {
-        if (machine_rep_[r] != r) continue;
-        bool same = true;
-        for (JobId j = 0; j < inst_.num_jobs() && same; ++j) {
-          same = inst_.proc(i, j) == inst_.proc(r, j);
-        }
-        for (ClassId k = 0; k < kc_ && same; ++k) {
-          same = inst_.setup(i, k) == inst_.setup(r, k);
-        }
-        if (same) {
-          machine_rep_[i] = r;
-          break;
-        }
-      }
+  void update_cutoff() {
+    // Branches with load >= prune_at_ cannot lead to an acceptable schedule:
+    // ties with the incumbent are no improvement, while a load *equal* to
+    // the external bound is still acceptable (inclusive semantics), hence
+    // the bound enters with a small upward slack instead of a downward one.
+    prune_at_ = incumbent_ - 1e-12;
+    if (opt_.initial_upper_bound > 0.0) {
+      const double inclusive =
+          opt_.initial_upper_bound * (1.0 + 1e-9) + 1e-9;
+      prune_at_ = std::min(prune_at_, inclusive);
     }
   }
 
-  bool out_of_budget() {
+  [[nodiscard]] bool incumbent_meets_lb() const {
+    return incumbent_ <= lower_bound_ + 1e-9 * std::max(1.0, lower_bound_);
+  }
+
+  /// True when no further node may be expanded. Checked BEFORE a node is
+  /// counted, so a tree fully explored at exactly max_nodes nodes finishes
+  /// proven: the budget only aborts when an (max_nodes+1)-th expansion is
+  /// actually attempted.
+  [[nodiscard]] bool hit_budget() {
     if (nodes_ >= opt_.max_nodes) return true;
-    if ((nodes_ & 0xFFF) == 0 && timer_.elapsed_seconds() > opt_.time_limit_s) {
+    if ((nodes_ & 0x3F) == 0 &&
+        timer_.elapsed_seconds() > opt_.time_limit_s) {
       return true;
     }
     return false;
   }
 
   void dfs(std::size_t depth, double current_max, double remaining_min) {
-    if (aborted_) return;
-    ++nodes_;
-    if (out_of_budget()) {
+    if (aborted_ || optimal_reached_) return;
+    if (hit_budget()) {
       aborted_ = true;
       return;
     }
-    if (depth == order_.size()) {
-      if (current_max < best_) {
-        best_ = current_max;
+    ++nodes_;
+    if (depth == plan_.order.size()) {
+      if (current_max < incumbent_) {
+        incumbent_ = current_max;
         best_schedule_ = current_;
+        update_cutoff();
+        if (incumbent_meets_lb()) optimal_reached_ = true;
       }
       return;
     }
 
     // Average-load bound: total future load is at least current total plus
     // each remaining job's cheapest processing time.
-    const double total_now = std::accumulate(loads_.begin(), loads_.end(), 0.0);
-    if ((total_now + remaining_min) / static_cast<double>(m_) >= best_ - 1e-12) {
+    const double total_now =
+        std::accumulate(loads_.begin(), loads_.end(), 0.0);
+    if ((total_now + remaining_min) / static_cast<double>(m_) >= prune_at_) {
       return;
     }
 
-    const JobId j = order_[depth];
+    // Dominance memo (cheap compare) before the LP probe (simplex solve).
+    if (memo_ && depth >= 2 &&
+        memo_->dominated_or_record(depth, loads_, class_on_)) {
+      return;
+    }
+
+    // LP relaxation with the path pinned: infeasible at the cutoff means no
+    // completion of this partial schedule can be accepted.
+    if (bounder_ && depth > 0 && depth <= opt_.lp_bound_depth &&
+        !bounder_->feasible(prune_at_)) {
+      return;
+    }
+
+    const JobId j = plan_.order[depth];
     const ClassId k = inst_.job_class(j);
 
     // Candidate machines sorted by resulting load (best-first search).
     struct Option {
       MachineId machine;
       double new_load;
-      double setup_added;
     };
     std::vector<Option> options;
     options.reserve(m_);
-    std::vector<char> tried_empty_rep(m_, 0);
     for (MachineId i = 0; i < m_; ++i) {
       if (!inst_.eligible(i, j)) continue;
-      if (loads_[i] == 0.0) {
-        const MachineId rep = machine_rep_[i];
-        if (tried_empty_rep[rep]) continue;  // symmetric duplicate
-        tried_empty_rep[rep] = 1;
+      if (exact::symmetric_duplicate(inst_, plan_, i, loads_, class_on_)) {
+        continue;
       }
       const bool has_setup = class_on_[i * kc_ + k] != 0;
       const double add_setup = has_setup ? 0.0 : inst_.setup(i, k);
       const double new_load = loads_[i] + inst_.proc(i, j) + add_setup;
-      if (new_load >= best_ - 1e-12) continue;  // this branch cannot improve
-      options.push_back({i, new_load, add_setup});
+      if (new_load >= prune_at_) continue;  // this branch cannot be accepted
+      options.push_back({i, new_load});
     }
     std::sort(options.begin(), options.end(),
-              [](const Option& a, const Option& b) { return a.new_load < b.new_load; });
+              [](const Option& a, const Option& b) {
+                return a.new_load < b.new_load;
+              });
 
-    const double next_remaining = remaining_min - min_proc_[j];
+    const double next_remaining = remaining_min - plan_.min_proc[j];
+    const bool pin = bounder_ && depth < opt_.lp_bound_depth;
     for (const Option& o : options) {
+      // The cutoff may have tightened while earlier siblings ran.
+      if (o.new_load >= prune_at_) continue;
       const MachineId i = o.machine;
       const double old_load = loads_[i];
       loads_[i] = o.new_load;
@@ -161,13 +175,15 @@ class Solver {
       const char old_flag = flag;
       flag = 1;
       current_.assignment[j] = i;
+      if (pin) bounder_->pin(j, i);
 
       dfs(depth + 1, std::max(current_max, o.new_load), next_remaining);
 
+      if (pin) bounder_->unpin(j);
       current_.assignment[j] = kUnassigned;
       flag = old_flag;
       loads_[i] = old_load;
-      if (aborted_) return;
+      if (aborted_ || optimal_reached_) return;
     }
   }
 
@@ -176,20 +192,22 @@ class Solver {
   std::size_t m_;
   std::size_t kc_;
 
-  std::vector<JobId> order_;
-  std::vector<double> min_proc_;
-  double remaining_min_total_ = 0.0;
-  std::vector<MachineId> machine_rep_;
+  SearchPlan plan_;
+  std::optional<LpBounder> bounder_;
+  std::optional<DominanceTable> memo_;
 
   Schedule current_ = Schedule::empty(0);
   std::vector<double> loads_;
   std::vector<char> class_on_;
 
   Schedule best_schedule_ = Schedule::empty(0);
-  double best_ = kInfinity;
+  double incumbent_ = kInfinity;
+  double lower_bound_ = 0.0;
+  double prune_at_ = kInfinity;
 
   std::size_t nodes_ = 0;
   bool aborted_ = false;
+  bool optimal_reached_ = false;
   Timer timer_;
 };
 
@@ -197,13 +215,25 @@ class Solver {
 
 ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
   instance.validate();
-  Solver solver(instance, options);
+  if (options.mode == ExactMode::kDive) {
+    return exact::dive_search(instance, options);
+  }
+  ProveSolver solver(instance, options);
   return solver.run();
 }
 
 ExactResult solve_exact(const UniformInstance& instance,
                         const ExactOptions& options) {
-  return solve_exact(instance.to_unrelated(), options);
+  ExactResult result = solve_exact(instance.to_unrelated(), options);
+  // The uniform aggregate bound can beat the unrelated per-job bound; use it
+  // to tighten the certificate of a truncated search.
+  if (!result.proven_optimal) {
+    const double uniform_lb = uniform_lower_bound(instance);
+    if (uniform_lb > result.lower_bound) {
+      exact::certify(&result, uniform_lb, false);
+    }
+  }
+  return result;
 }
 
 }  // namespace setsched

@@ -4,36 +4,100 @@
 
 #include "core/instance.h"
 #include "core/result.h"
+#include "lp/simplex.h"
 
 namespace setsched {
 
+/// Search mode of solve_exact().
+enum class ExactMode : std::uint8_t {
+  /// Exhaustive LP-bounded depth-first branch-and-bound. Proves optimality
+  /// unless a budget runs out; the result then carries the best incumbent
+  /// and a certified optimality gap against the root lower bound.
+  kProve,
+  /// Time-boxed best-first beam dive: yields a high-quality incumbent with a
+  /// certified gap for mid-size instances (n ~ 30-60) where proving is
+  /// hopeless. proven_optimal is reported only when the incumbent meets the
+  /// certified lower bound.
+  kDive,
+};
+
 struct ExactOptions {
-  /// Node budget; exceeded => result flagged as not proven optimal.
+  ExactMode mode = ExactMode::kProve;
+  /// Node budget. Hitting it with unexplored branches left clears
+  /// proven_optimal; a tree fully explored at exactly the budget still
+  /// counts as proven.
   std::size_t max_nodes = 200'000'000;
   /// Wall-clock budget in seconds (checked coarsely).
   double time_limit_s = 60.0;
-  /// Optional initial upper bound (e.g. from a heuristic); 0 = none.
+  /// Optional initial upper bound, INCLUSIVE (kProve only; kDive ignores
+  /// it): the caller promises some schedule of makespan <= this value
+  /// exists, and a schedule whose makespan exactly equals the bound is
+  /// acceptable and will be found. (An invalid bound below OPT makes the
+  /// search vacuous, exactly as a MIP cutoff would.) 0 = none.
   double initial_upper_bound = 0.0;
+  /// Prune nodes whose assignment-LP relaxation (path jobs pinned to their
+  /// machines) is infeasible at the current cutoff, and certify the root
+  /// lower bound used for gap reporting. One parametric model is built once
+  /// and re-parameterized down the tree; every probe warm-starts from the
+  /// previous node's basis (see unrelated/assignment_lp.h).
+  bool use_lp_bounds = true;
+  /// LP-probe nodes at depth <= lp_bound_depth only — the top of the tree,
+  /// where one pruned node kills an exponential subtree and the probe cost
+  /// amortizes.
+  std::size_t lp_bound_depth = 12;
+  /// Multiplicative precision of the root lower-bound search.
+  double root_bound_precision = 1e-4;
+  /// Dominance memo: states kept per depth (0 disables the memo).
+  std::size_t memo_limit = 256;
+  /// kDive: beam width per level.
+  std::size_t beam_width = 256;
+  /// Simplex implementation for the LP bounds.
+  lp::SimplexAlgorithm lp_algorithm = lp::SimplexAlgorithm::kAuto;
 };
 
+/// Result contract of the exact subsystem. `proven_optimal` distinguishes
+/// ground truth from budget-exhausted incumbents; consumers (registry,
+/// experiment harness) must propagate it instead of treating every result
+/// as an optimum.
 struct ExactResult {
   Schedule schedule;
   double makespan = 0.0;
+  /// Best certified lower bound on OPT: the combinatorial bound of
+  /// core/bounds.h, raised by the root LP relaxation when LP bounds are on;
+  /// equals `makespan` when proven_optimal.
+  double lower_bound = 0.0;
+  /// Relative optimality gap (makespan - lower_bound) / lower_bound, >= 0.
+  /// Exactly 0 iff proven_optimal.
+  double gap = 0.0;
   bool proven_optimal = false;
+  /// Search-tree nodes expanded (DFS nodes or beam states).
   std::size_t nodes = 0;
+  /// Assignment-LP relaxation probes spent on bounding (root search plus
+  /// per-node feasibility probes).
+  std::size_t lp_bounds_used = 0;
+  /// Simplex iterations across those probes.
+  std::size_t lp_iterations = 0;
 };
 
-/// Depth-first branch-and-bound over job -> machine assignments.
+/// Exact / ground-truth solver over job -> machine assignments.
 ///
-/// Jobs are ordered class-by-class (largest class workload first, sizes
-/// non-increasing inside a class) so that setup costs are discovered early.
-/// Pruning: current makespan, per-job best-possible completion, and an
-/// average-load bound (remaining work spread over all machines).
-/// Intended as ground truth for small instances (n <~ 16).
+/// kProve: depth-first branch-and-bound. Jobs are ordered class-by-class
+/// (largest class workload first, sizes non-increasing inside a class) so
+/// setup costs are discovered early. Pruning: branch load cuts against the
+/// incumbent (and the inclusive external bound), an average-load bound,
+/// machine-equivalence symmetry breaking (sound under eligibility, since
+/// equivalent machines have identical columns), a dominance memo over
+/// (depth, load-profile, paid-setups) states, and assignment-LP infeasibility
+/// at the current cutoff.
+///
+/// kDive: best-first beam search over the same job order with the same
+/// symmetry reductions; reports the incumbent with its certified gap.
 [[nodiscard]] ExactResult solve_exact(const Instance& instance,
                                       const ExactOptions& options = {});
 
-/// Convenience overload (converts to the unrelated matrix form).
+/// Convenience overload (converts to the unrelated matrix form). The
+/// uniform aggregate lower bound additionally tightens the reported
+/// lower_bound/gap when it beats the unrelated one.
 [[nodiscard]] ExactResult solve_exact(const UniformInstance& instance,
                                       const ExactOptions& options = {});
 

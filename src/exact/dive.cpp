@@ -1,0 +1,170 @@
+#include "exact/dive.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/bounds.h"
+#include "core/schedule.h"
+#include "exact/lp_bound.h"
+#include "exact/search_util.h"
+
+namespace setsched::exact {
+
+namespace {
+
+/// One partial schedule on the beam: the prefix assignment of the shared
+/// job order plus the incrementally maintained load/setup state.
+struct BeamState {
+  std::vector<MachineId> assignment;  ///< full n, kUnassigned beyond depth
+  std::vector<double> loads;
+  std::vector<char> class_on;  ///< m x K paid-setup matrix, row-major
+  double max_load = 0.0;
+  double total_load = 0.0;
+  /// Completion lower bound (beam priority): max of the current makespan and
+  /// the average-load bound over the remaining jobs.
+  double score = 0.0;
+};
+
+/// True iff `kept` (a better-scored state) makes `candidate` redundant:
+/// pointwise <= loads and >= paid setups, so every completion of the
+/// candidate is matched or beaten.
+bool dominated_by(const BeamState& kept, const BeamState& candidate) {
+  for (std::size_t i = 0; i < kept.loads.size(); ++i) {
+    if (kept.loads[i] > candidate.loads[i] + 1e-12) return false;
+  }
+  for (std::size_t e = 0; e < kept.class_on.size(); ++e) {
+    if (candidate.class_on[e] != 0 && kept.class_on[e] == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
+  const std::size_t n = inst.num_jobs();
+  const std::size_t m = inst.num_machines();
+  const std::size_t kc = inst.num_classes();
+  const SearchPlan plan = build_search_plan(inst);
+
+  Schedule best_schedule = best_machine_schedule(inst);
+  double incumbent = makespan(inst, best_schedule);
+  double lower_bound = unrelated_lower_bound(inst);
+
+  // Suffix sums of the cheapest processing times in branching order:
+  // remaining_min[d] = minimum extra work once jobs order[0..d) are placed.
+  std::vector<double> remaining_min(n + 1, 0.0);
+  for (std::size_t d = n; d-- > 0;) {
+    remaining_min[d] = remaining_min[d + 1] + plan.min_proc[plan.order[d]];
+  }
+  lower_bound = std::max(lower_bound,
+                         remaining_min[0] / static_cast<double>(m));
+
+  ExactResult out;
+  std::optional<LpBounder> bounder;
+  if (opt.use_lp_bounds && incumbent > 0.0) {
+    bounder.emplace(inst, incumbent, opt.lp_algorithm);
+    if (bounder->available()) {
+      lower_bound = std::max(
+          lower_bound, bounder->root_lower_bound(lower_bound, incumbent,
+                                                 opt.root_bound_precision));
+    }
+  }
+
+  Timer timer;
+  const std::size_t width = std::max<std::size_t>(1, opt.beam_width);
+  std::size_t nodes = 0;
+  bool truncated = false;
+
+  std::vector<BeamState> beam(1);
+  beam[0].assignment.assign(n, kUnassigned);
+  beam[0].loads.assign(m, 0.0);
+  beam[0].class_on.assign(m * kc, 0);
+  beam[0].score = lower_bound;
+
+  std::vector<BeamState> children;
+  for (std::size_t depth = 0; depth < n && !beam.empty(); ++depth) {
+    // Time-boxed: once a budget runs out the beam collapses to a greedy
+    // descent so a complete schedule is still reached quickly.
+    std::size_t level_width = width;
+    if (timer.elapsed_seconds() > opt.time_limit_s || nodes >= opt.max_nodes) {
+      level_width = 1;
+      truncated = true;
+    }
+    if (beam.size() > level_width) {
+      beam.resize(level_width);
+      truncated = true;
+    }
+
+    const JobId j = plan.order[depth];
+    const ClassId k = inst.job_class(j);
+    children.clear();
+    for (const BeamState& state : beam) {
+      ++nodes;
+      for (MachineId i = 0; i < m; ++i) {
+        if (!inst.eligible(i, j)) continue;
+        if (symmetric_duplicate(inst, plan, i, state.loads, state.class_on)) {
+          continue;
+        }
+        const bool has_setup = state.class_on[i * kc + k] != 0;
+        const double add_setup = has_setup ? 0.0 : inst.setup(i, k);
+        BeamState child = state;
+        child.assignment[j] = i;
+        child.loads[i] += inst.proc(i, j) + add_setup;
+        child.class_on[i * kc + k] = 1;
+        child.total_load += inst.proc(i, j) + add_setup;
+        child.max_load = std::max(child.max_load, child.loads[i]);
+        child.score = std::max(
+            child.max_load, (child.total_load + remaining_min[depth + 1]) /
+                                static_cast<double>(m));
+        children.push_back(std::move(child));
+      }
+    }
+    // Keep the best-scored states, dropping those an already kept (hence
+    // better-scored) state dominates. stable_sort keeps the level
+    // deterministic across platforms under score ties.
+    std::stable_sort(children.begin(), children.end(),
+                     [](const BeamState& a, const BeamState& b) {
+                       return a.score < b.score;
+                     });
+    std::vector<BeamState> kept;
+    kept.reserve(std::min(level_width, children.size()));
+    for (BeamState& child : children) {
+      if (kept.size() >= level_width) {
+        truncated = true;
+        break;
+      }
+      bool redundant = false;
+      const std::size_t scan = std::min<std::size_t>(kept.size(), 64);
+      for (std::size_t s = 0; s < scan && !redundant; ++s) {
+        redundant = dominated_by(kept[s], child);
+      }
+      if (!redundant) kept.push_back(std::move(child));
+    }
+    beam = std::move(kept);
+  }
+
+  for (const BeamState& state : beam) {
+    if (state.max_load < incumbent) {
+      incumbent = state.max_load;
+      best_schedule.assignment = state.assignment;
+    }
+  }
+
+  out.schedule = std::move(best_schedule);
+  out.makespan = makespan(inst, out.schedule);
+  out.nodes = nodes;
+  if (bounder) {
+    out.lp_bounds_used = bounder->probes();
+    out.lp_iterations = bounder->iterations();
+  }
+  // If no state was ever dropped for width or time, the beam covered the
+  // whole reachable state space (up to sound symmetry/dominance skips) and
+  // the dive degenerates to an exhaustive search; otherwise optimality is
+  // only proven when the incumbent meets the certified lower bound.
+  certify(&out, lower_bound, /*search_complete=*/!truncated);
+  return out;
+}
+
+}  // namespace setsched::exact

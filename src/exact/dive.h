@@ -1,0 +1,13 @@
+#pragma once
+
+#include "exact/branch_bound.h"
+
+namespace setsched::exact {
+
+/// ExactMode::kDive implementation: time-boxed best-first beam search over
+/// the shared job order (see branch_bound.h for the contract). Internal to
+/// src/exact; call through solve_exact().
+[[nodiscard]] ExactResult dive_search(const Instance& instance,
+                                      const ExactOptions& options);
+
+}  // namespace setsched::exact

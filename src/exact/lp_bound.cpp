@@ -1,0 +1,41 @@
+#include "exact/lp_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace setsched::exact {
+
+LpBounder::LpBounder(const Instance& instance, double T_build,
+                     lp::SimplexAlgorithm algorithm) {
+  if (T_build <= 0.0) return;
+  AssignmentLpOptions options;
+  options.simplex.algorithm = algorithm;
+  lp_.emplace(instance, T_build, options);
+}
+
+bool LpBounder::feasible(double T) {
+  if (!lp_) return true;  // no bounder, no pruning
+  return lp_->feasible(T);
+}
+
+double LpBounder::root_lower_bound(double lo, double hi, double precision) {
+  if (!lp_ || hi <= 0.0 || lo >= hi) return lo;
+  // Geometric bisection needs a positive left endpoint; a combinatorial
+  // bound of ~0 is replaced by a sliver of hi (still a valid lower bound on
+  // the first probe value).
+  double left = std::max(lo, hi * 1e-6);
+  if (lp_->feasible(left)) return lo;  // LP cannot improve on `lo`
+  double right = hi;
+  while (right / left > 1.0 + precision) {
+    const double mid = std::sqrt(left * right);
+    if (lp_->feasible(mid)) {
+      right = mid;
+    } else {
+      left = mid;
+    }
+  }
+  // `left` is LP-infeasible: no schedule (even fractional) meets it.
+  return std::max(lo, left);
+}
+
+}  // namespace setsched::exact

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/instance.h"
+#include "lp/simplex.h"
+#include "unrelated/assignment_lp.h"
+
+namespace setsched::exact {
+
+/// Assignment-LP relaxation bounds for the branch-and-bound: ONE parametric
+/// model (unrelated/assignment_lp.h) built at the initial cutoff and
+/// re-parameterized down the search tree. Jobs on the DFS path are pinned to
+/// their machines; every probe warm-starts the revised simplex from the
+/// previous node's basis, so a probe is a short re-optimization, not a cold
+/// phase-1 solve.
+class LpBounder {
+ public:
+  /// Builds the relaxation at `T_build` (the loosest value that will ever be
+  /// probed; the initial cutoff). A non-positive T_build disables the
+  /// bounder (available() == false) — probes then never prune.
+  LpBounder(const Instance& instance, double T_build,
+            lp::SimplexAlgorithm algorithm);
+
+  [[nodiscard]] bool available() const noexcept { return lp_.has_value(); }
+
+  void pin(JobId j, MachineId i) {
+    if (lp_) lp_->pin_job(j, i);
+  }
+  void unpin(JobId j) {
+    if (lp_) lp_->unpin_job(j);
+  }
+
+  /// True iff a fractional completion respecting the pins with makespan <= T
+  /// exists (or the bounder is unavailable). False certifies that no
+  /// completion of the pinned partial schedule has makespan <= T, so the
+  /// subtree can be pruned against a cutoff of T.
+  [[nodiscard]] bool feasible(double T);
+
+  /// Certified lower bound on OPT from the unpinned relaxation: geometric
+  /// bisection over [lo, hi] to multiplicative precision, returning the
+  /// largest probe value found infeasible (or `lo` when the LP is already
+  /// feasible there). Call before any pins are set. `lo` must itself be a
+  /// valid lower bound; the result never falls below it.
+  [[nodiscard]] double root_lower_bound(double lo, double hi,
+                                        double precision);
+
+  /// LP probes issued (root search + node probes).
+  [[nodiscard]] std::size_t probes() const noexcept {
+    return lp_ ? lp_->lp_solves() : 0;
+  }
+  /// Simplex iterations across all probes.
+  [[nodiscard]] std::size_t iterations() const noexcept {
+    return lp_ ? lp_->simplex_iterations() : 0;
+  }
+
+ private:
+  std::optional<ParametricAssignmentLp> lp_;
+};
+
+}  // namespace setsched::exact

@@ -1,0 +1,98 @@
+#include "exact/search_util.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/types.h"
+
+namespace setsched::exact {
+
+SearchPlan build_search_plan(const Instance& instance) {
+  const std::size_t n = instance.num_jobs();
+  const std::size_t m = instance.num_machines();
+  const std::size_t kc = instance.num_classes();
+
+  SearchPlan plan;
+  plan.min_proc.resize(n);
+  for (JobId j = 0; j < n; ++j) {
+    double mn = kInfinity;
+    for (MachineId i = 0; i < m; ++i) {
+      if (instance.eligible(i, j)) mn = std::min(mn, instance.proc(i, j));
+    }
+    plan.min_proc[j] = mn;
+  }
+  std::vector<double> class_weight(kc, 0.0);
+  for (JobId j = 0; j < n; ++j) {
+    class_weight[instance.job_class(j)] += plan.min_proc[j];
+  }
+  plan.order.resize(n);
+  std::iota(plan.order.begin(), plan.order.end(), 0);
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&](JobId a, JobId b) {
+                     const ClassId ka = instance.job_class(a);
+                     const ClassId kb = instance.job_class(b);
+                     if (ka != kb) {
+                       if (class_weight[ka] != class_weight[kb]) {
+                         return class_weight[ka] > class_weight[kb];
+                       }
+                       return ka < kb;
+                     }
+                     return plan.min_proc[a] > plan.min_proc[b];
+                   });
+  plan.min_total =
+      std::accumulate(plan.min_proc.begin(), plan.min_proc.end(), 0.0);
+
+  plan.machine_rep.resize(m);
+  for (MachineId i = 0; i < m; ++i) {
+    plan.machine_rep[i] = i;
+    for (MachineId r = 0; r < i; ++r) {
+      if (plan.machine_rep[r] != r) continue;
+      bool same = true;
+      for (JobId j = 0; j < n && same; ++j) {
+        same = instance.proc(i, j) == instance.proc(r, j);
+      }
+      for (ClassId k = 0; k < kc && same; ++k) {
+        same = instance.setup(i, k) == instance.setup(r, k);
+      }
+      if (same) {
+        plan.machine_rep[i] = r;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+bool symmetric_duplicate(const Instance& instance, const SearchPlan& plan,
+                         MachineId i, const std::vector<double>& loads,
+                         const std::vector<char>& class_on) {
+  const MachineId rep = plan.machine_rep[i];
+  if (rep == i) return false;
+  const std::size_t kc = instance.num_classes();
+  for (MachineId r = rep; r < i; ++r) {
+    if (plan.machine_rep[r] != rep) continue;
+    if (loads[r] != loads[i]) continue;
+    bool same = true;
+    for (ClassId k = 0; k < kc && same; ++k) {
+      same = class_on[r * kc + k] == class_on[i * kc + k];
+    }
+    if (same) return true;
+  }
+  return false;
+}
+
+void certify(ExactResult* out, double lower_bound, bool search_complete) {
+  const double tol = 1e-9 * std::max(1.0, lower_bound);
+  out->proven_optimal =
+      search_complete || out->makespan <= lower_bound + tol;
+  if (out->proven_optimal) {
+    out->lower_bound = out->makespan;
+    out->gap = 0.0;
+  } else {
+    out->lower_bound = lower_bound;
+    out->gap = std::max(
+        0.0, (out->makespan - lower_bound) / std::max(lower_bound, 1e-9));
+  }
+}
+
+}  // namespace setsched::exact

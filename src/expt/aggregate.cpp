@@ -23,6 +23,8 @@ struct Bucket {
   std::vector<double> times_ms;       // ok cells only
   std::vector<double> lp_solves;      // ok cells only
   std::vector<double> lp_iterations;  // ok cells only
+  std::size_t proven = 0;             // ok cells certified optimal
+  std::vector<double> gaps;           // ok cells with a certificate
 };
 
 void write_double(std::ostream& os, double v) {
@@ -52,6 +54,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
         bucket.times_ms.push_back(r.time_ms);
         bucket.lp_solves.push_back(static_cast<double>(r.lp_solves));
         bucket.lp_iterations.push_back(static_cast<double>(r.lp_iterations));
+        if (r.proven_optimal) ++bucket.proven;
+        if (r.gap >= 0.0) bucket.gaps.push_back(r.gap);
         break;
       case RunStatus::kSkipped:
         ++bucket.skipped;
@@ -83,6 +87,9 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
     }
     s.lp_solves_mean = mean(bucket.lp_solves);
     s.lp_iterations_mean = mean(bucket.lp_iterations);
+    s.proven = bucket.proven;
+    s.certified = bucket.gaps.size();
+    s.gap_mean = mean(bucket.gaps);
     summaries.push_back(std::move(s));
   }
   return summaries;  // std::map iterates keys in (solver, preset) order
@@ -90,8 +97,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
 
 Table summary_table(std::span<const AggregateSummary> summaries) {
   Table table({"solver", "preset", "cells", "ok", "skipped", "failed",
-               "ratio_mean", "ratio_max", "time_p50_ms", "time_p95_ms",
-               "lp_solves", "lp_iters"});
+               "proven", "gap_mean", "ratio_mean", "ratio_max", "time_p50_ms",
+               "time_p95_ms", "lp_solves", "lp_iters"});
   for (const AggregateSummary& s : summaries) {
     table.row()
         .add(s.solver)
@@ -100,6 +107,8 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.ok)
         .add(s.skipped)
         .add(s.failed)
+        .add(s.proven)
+        .add(s.gap_mean, 4)
         .add(s.ratio_mean)
         .add(s.ratio_max)
         .add(s.time_p50_ms, 2)
@@ -141,7 +150,10 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
     os << (i > 0 ? "," : "") << "\n    {\"solver\": \"" << s.solver
        << "\", \"preset\": \"" << s.preset << "\", \"cells\": " << s.cells
        << ", \"ok\": " << s.ok << ", \"skipped\": " << s.skipped
-       << ", \"failed\": " << s.failed << ", \"ratio_mean\": ";
+       << ", \"failed\": " << s.failed << ", \"proven\": " << s.proven
+       << ", \"certified\": " << s.certified << ", \"gap_mean\": ";
+    write_double(os, s.gap_mean);
+    os << ", \"ratio_mean\": ";
     write_double(os, s.ratio_mean);
     os << ", \"ratio_max\": ";
     write_double(os, s.ratio_max);

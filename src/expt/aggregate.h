@@ -30,6 +30,13 @@ struct AggregateSummary {
   /// so perf PRs can compare simplex work, not just wall clock.
   double lp_solves_mean = 0.0;
   double lp_iterations_mean = 0.0;
+  /// Ok cells whose schedule the solver certified optimal. Quality tables
+  /// may only cite a bucket as ground truth when proven == ok.
+  std::size_t proven = 0;
+  /// Ok cells carrying a certificate (gap >= 0, exact/dive solvers).
+  std::size_t certified = 0;
+  /// Mean certified gap over those cells (0 when none are certified).
+  double gap_mean = 0.0;
 
   [[nodiscard]] bool operator==(const AggregateSummary&) const = default;
 };

@@ -83,6 +83,10 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
     record.setups = total_setups(point.input.instance, result.schedule);
     record.lp_solves = result.stats.lp_solves;
     record.lp_iterations = result.stats.lp_iterations;
+    record.nodes = result.stats.nodes;
+    record.lp_bounds_used = result.stats.lp_bounds_used;
+    record.proven_optimal = result.stats.proven_optimal;
+    record.gap = result.stats.gap;
   } catch (const std::exception& e) {
     record.status = RunStatus::kError;
     record.error = e.what();

@@ -46,6 +46,16 @@ struct RunRecord {
   std::size_t lp_solves = 0;
   std::size_t lp_iterations = 0;
 
+  // Search certificate (SolverStats echo). Every record carries these so
+  // quality tables can separate proven optima from budget-exhausted
+  // incumbents: proven_optimal is true only for solver-certified optima, and
+  // gap is the certified relative gap (>= 0) or -1 when the solver issues no
+  // certificate (heuristics).
+  std::size_t nodes = 0;
+  std::size_t lp_bounds_used = 0;
+  bool proven_optimal = false;
+  double gap = -1.0;
+
   // Context echo.
   double epsilon = 0.0;
   double precision = 0.0;

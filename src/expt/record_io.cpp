@@ -150,10 +150,16 @@ Int to_integer(std::string_view token, const LineParser& p) {
   return value;
 }
 
+bool to_bool(std::string_view token, const LineParser& p) {
+  if (token == "true") return true;
+  if (token == "false") return false;
+  p.fail("bad boolean '" + std::string(token) + "'");
+}
+
 RunRecord parse_record_line(std::string_view line) {
   LineParser p{line};
   RunRecord r;
-  // Bitmask of the 19 required keys, in write_jsonl() order.
+  // Bitmask of the 23 required keys, in write_jsonl() order.
   unsigned seen = 0;
   const auto mark = [&](unsigned bit) {
     if (seen & (1u << bit)) p.fail("duplicate key");
@@ -198,21 +204,30 @@ RunRecord parse_record_line(std::string_view line) {
     } else if (key == "lp_iterations") {
       mark(14),
           r.lp_iterations = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "nodes") {
+      mark(15), r.nodes = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "lp_bounds_used") {
+      mark(16),
+          r.lp_bounds_used = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "proven_optimal") {
+      mark(17), r.proven_optimal = to_bool(p.parse_number_token(), p);
+    } else if (key == "gap") {
+      mark(18), r.gap = to_double(p.parse_number_token(), p);
     } else if (key == "epsilon") {
-      mark(15), r.epsilon = to_double(p.parse_number_token(), p);
+      mark(19), r.epsilon = to_double(p.parse_number_token(), p);
     } else if (key == "precision") {
-      mark(16), r.precision = to_double(p.parse_number_token(), p);
+      mark(20), r.precision = to_double(p.parse_number_token(), p);
     } else if (key == "time_limit_s") {
-      mark(17), r.time_limit_s = to_double(p.parse_number_token(), p);
+      mark(21), r.time_limit_s = to_double(p.parse_number_token(), p);
     } else if (key == "error") {
-      mark(18), r.error = p.parse_string();
+      mark(22), r.error = p.parse_string();
     } else {
       p.fail("unknown key '" + key + "'");
     }
   }
   p.expect('}');
   if (!p.at_end()) p.fail("trailing content");
-  if (seen != (1u << 19) - 1) p.fail("missing keys");
+  if (seen != (1u << 23) - 1) p.fail("missing keys");
   return r;
 }
 
@@ -274,6 +289,11 @@ void write_jsonl(std::ostream& os, const RunRecord& r) {
   write_double(os, r.time_ms);
   os << ",\"lp_solves\":" << r.lp_solves;
   os << ",\"lp_iterations\":" << r.lp_iterations;
+  os << ",\"nodes\":" << r.nodes;
+  os << ",\"lp_bounds_used\":" << r.lp_bounds_used;
+  os << ",\"proven_optimal\":" << (r.proven_optimal ? "true" : "false");
+  os << ",\"gap\":";
+  write_double(os, r.gap);
   os << ",\"epsilon\":";
   write_double(os, r.epsilon);
   os << ",\"precision\":";
@@ -305,8 +325,9 @@ std::vector<RunRecord> read_jsonl(std::istream& is) {
 
 void write_csv(std::ostream& os, std::span<const RunRecord> records) {
   os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
-        "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,epsilon,"
-        "precision,time_limit_s,error\n";
+        "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,nodes,"
+        "lp_bounds_used,proven_optimal,gap,epsilon,precision,time_limit_s,"
+        "error\n";
   for (const RunRecord& r : records) {
     write_csv_field(os, r.solver);
     os << ',';
@@ -321,7 +342,11 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
     write_double(os, r.ratio);
     os << ',' << r.setups << ',';
     write_double(os, r.time_ms);
-    os << ',' << r.lp_solves << ',' << r.lp_iterations << ',';
+    os << ',' << r.lp_solves << ',' << r.lp_iterations << ',' << r.nodes
+       << ',' << r.lp_bounds_used << ','
+       << (r.proven_optimal ? "true" : "false") << ',';
+    write_double(os, r.gap);
+    os << ',';
     write_double(os, r.epsilon);
     os << ',';
     write_double(os, r.precision);

@@ -24,7 +24,8 @@ ParametricAssignmentLp::ParametricAssignmentLp(
       model_(lp::Objective::kMinimize),
       xv_(instance.num_machines(), instance.num_jobs(), kNoVar),
       yv_(instance.num_machines(), instance.num_classes(), kNoVar),
-      packing_row_(instance.num_machines(), instance.num_classes(), kNoVar) {
+      packing_row_(instance.num_machines(), instance.num_classes(), kNoVar),
+      pinned_(instance.num_jobs(), kUnassigned) {
   const std::size_t n = instance.num_jobs();
   const std::size_t m = instance.num_machines();
   const std::size_t kc = instance.num_classes();
@@ -126,6 +127,14 @@ void ParametricAssignmentLp::reparameterize(double T) {
     for (JobId j = 0; j < n; ++j) {
       const std::size_t v = xv_(i, j);
       if (v == kNoVar) continue;
+      if (pinned_[j] != kUnassigned) {
+        // Pinned jobs override the T filters: x is fixed to the pin. A pin
+        // whose processing time exceeds T is caught by the load row (forced
+        // activity > rhs), so the probe still reads infeasible.
+        model_.set_bounds(v, pinned_[j] == i ? 1.0 : 0.0,
+                          pinned_[j] == i ? 1.0 : 0.0);
+        continue;
+      }
       const bool allowed =
           inst.proc(i, j) <= T &&
           (!options_.strengthen ||
@@ -145,17 +154,32 @@ void ParametricAssignmentLp::reparameterize(double T) {
   }
 }
 
-std::optional<FractionalAssignment> ParametricAssignmentLp::solve(double T) {
+void ParametricAssignmentLp::pin_job(JobId j, MachineId i) {
+  unpin_job(j);
+  pinned_[j] = i;
+  if (!structurally_infeasible_ && xv_(i, j) == kNoVar) ++impossible_pins_;
+}
+
+void ParametricAssignmentLp::unpin_job(JobId j) {
+  const MachineId i = pinned_[j];
+  if (i == kUnassigned) return;
+  pinned_[j] = kUnassigned;
+  if (!structurally_infeasible_ && xv_(i, j) == kNoVar) --impossible_pins_;
+}
+
+lp::Solution ParametricAssignmentLp::run_solve(double T) {
   ++lp_solves_;
   last_iterations_ = 0;
-  if (structurally_infeasible_) return std::nullopt;
+  lp::Solution sol;
+  sol.status = lp::SolveStatus::kInfeasible;
+  if (structurally_infeasible_ || impossible_pins_ > 0) return sol;
   check(T <= T_build_ * (1.0 + 1e-9) + 1e-12,
         "parametric assignment LP probed above its build guess");
   reparameterize(T);
 
   lp::SimplexOptions simplex = options_.simplex;
   if (!basis_.empty()) simplex.warm_start = &basis_;
-  const lp::Solution sol = lp::solve(model_, simplex);
+  sol = lp::solve(model_, simplex);
   iterations_ += sol.iterations;
   last_iterations_ = sol.iterations;
   // Only optimal bases join the warm-start chain: the end basis of an
@@ -163,7 +187,18 @@ std::optional<FractionalAssignment> ParametricAssignmentLp::solve(double T) {
   // against the violated rows) and measurably poisons the next probe,
   // costing more iterations than a cold start.
   if (sol.optimal() && !sol.basis.empty()) basis_ = sol.basis;
+  return sol;
+}
 
+bool ParametricAssignmentLp::feasible(double T) {
+  const lp::Solution sol = run_solve(T);
+  if (sol.status == lp::SolveStatus::kInfeasible) return false;
+  check(sol.optimal(), "assignment LP probe failed (not optimal/infeasible)");
+  return true;
+}
+
+std::optional<FractionalAssignment> ParametricAssignmentLp::solve(double T) {
+  const lp::Solution sol = run_solve(T);
   if (sol.status == lp::SolveStatus::kInfeasible) return std::nullopt;
   check(sol.optimal(), "assignment LP solve failed (not optimal/infeasible)");
 

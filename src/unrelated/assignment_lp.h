@@ -50,6 +50,22 @@ class ParametricAssignmentLp {
   /// the LP is infeasible at T.
   [[nodiscard]] std::optional<FractionalAssignment> solve(double T);
 
+  /// Feasibility-only probe at T (no solution extraction): true iff a
+  /// fractional assignment of makespan <= T exists that respects the pins
+  /// below. This is the branch-and-bound node relaxation of src/exact: one
+  /// model re-parameterized down the search tree, every probe warm-started
+  /// from the previous basis.
+  [[nodiscard]] bool feasible(double T);
+
+  /// Pins job j to machine i for subsequent solves: x_ij is fixed to 1 and
+  /// x_i'j to 0 for every other machine. Pinning a pair whose variable was
+  /// filtered at T_build makes every later probe infeasible (the pinned pair
+  /// cannot meet any T <= T_build). Pins survive re-parameterization.
+  void pin_job(JobId j, MachineId i);
+
+  /// Removes the pin on job j (no-op when j is not pinned).
+  void unpin_job(JobId j);
+
   /// Number of solve() calls so far.
   [[nodiscard]] std::size_t lp_solves() const noexcept { return lp_solves_; }
   /// Total simplex iterations across all solves.
@@ -63,6 +79,10 @@ class ParametricAssignmentLp {
 
  private:
   void reparameterize(double T);
+  /// Shared solve path: re-parameterizes, runs the simplex, maintains the
+  /// warm-start chain. Returns the solution (status kInfeasible on infeasible
+  /// probes and on pins whose variable does not exist in the model).
+  [[nodiscard]] lp::Solution run_solve(double T);
 
   const Instance* instance_;
   AssignmentLpOptions options_;
@@ -75,6 +95,10 @@ class ParametricAssignmentLp {
   Matrix<std::size_t> yv_;              ///< m x K variable ids
   std::vector<std::size_t> load_row_;   ///< per machine (SIZE_MAX = none)
   Matrix<std::size_t> packing_row_;     ///< m x K strengthened rows (8)
+  std::vector<MachineId> pinned_;       ///< per job; kUnassigned = free
+  /// Pins pointing at variables absent from the model (filtered at T_build):
+  /// every probe is infeasible while > 0.
+  std::size_t impossible_pins_ = 0;
   lp::Basis basis_;                     ///< warm-start chain across probes
   std::size_t lp_solves_ = 0;
   std::size_t iterations_ = 0;

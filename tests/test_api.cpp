@@ -67,9 +67,9 @@ TEST(SolverRegistry, RegistersEveryBuiltinSolver) {
   const char* expected[] = {
       "assignment-lp", "best-machine",        "classuniform-3approx",
       "colgen",        "cover-greedy",        "exact",
-      "greedy",        "greedy-classes",      "local-search",
-      "lpt",           "lpt-plain",           "ptas",
-      "restricted-2approx",                   "rounding",
+      "exact-dive",    "greedy",              "greedy-classes",
+      "local-search",  "lpt",                 "lpt-plain",
+      "ptas",          "restricted-2approx",  "rounding",
   };
   for (const char* name : expected) {
     EXPECT_TRUE(SolverRegistry::global().contains(name)) << name;
@@ -178,6 +178,37 @@ TEST(SolverEndToEnd, HeuristicsNeverBeatExact) {
     SCOPED_TRACE(name);
     const ScheduleResult result = solver->solve(input, fast_context());
     EXPECT_GE(result.makespan, optimum.makespan * (1.0 - 1e-9));
+  }
+}
+
+// Regression: the registry used to drop ExactResult.proven_optimal/nodes on
+// the floor, so a budget-exhausted run was indistinguishable from ground
+// truth downstream. The certificate must ride through SolverStats.
+TEST(SolverEndToEnd, ExactRegistryEntrySurfacesCertificate) {
+  const ProblemInput input = small_unrelated();
+
+  const auto exact = SolverRegistry::global().create("exact");
+  const ScheduleResult proven = exact->solve(input, fast_context());
+  EXPECT_TRUE(proven.stats.proven_optimal);
+  EXPECT_DOUBLE_EQ(proven.stats.gap, 0.0);
+  EXPECT_GT(proven.stats.nodes, 0u);
+
+  // A vanishing time budget must surface as an honest non-certificate (the
+  // schedule is still valid), not masquerade as an optimum.
+  SolverContext strangled = fast_context();
+  strangled.time_limit_s = 0.0;
+  const ScheduleResult aborted = exact->solve(input, strangled);
+  EXPECT_FALSE(aborted.stats.proven_optimal);
+  EXPECT_GT(aborted.stats.gap, 0.0);
+  EXPECT_EQ(schedule_error(input.instance, aborted.schedule), std::nullopt);
+
+  const auto dive = SolverRegistry::global().create("exact-dive");
+  const ScheduleResult dived = dive->solve(input, fast_context());
+  EXPECT_GE(dived.stats.gap, 0.0);
+  EXPECT_GT(dived.stats.nodes, 0u);
+  if (dived.stats.proven_optimal) {
+    EXPECT_DOUBLE_EQ(dived.stats.gap, 0.0);
+    EXPECT_NEAR(dived.makespan, proven.makespan, 1e-9);
   }
 }
 

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/bounds.h"
 #include "core/generators.h"
+#include "core/schedule.h"
 #include "exact/branch_bound.h"
 
 namespace setsched {
@@ -14,6 +18,8 @@ TEST(Exact, SingleJobSingleMachine) {
   const ExactResult r = solve_exact(inst);
   EXPECT_TRUE(r.proven_optimal);
   EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(r.lower_bound, 8.0);
+  EXPECT_DOUBLE_EQ(r.gap, 0.0);
 }
 
 TEST(Exact, PrefersSplittingAcrossMachines) {
@@ -76,6 +82,37 @@ TEST(Exact, HonorsInitialUpperBound) {
   EXPECT_DOUBLE_EQ(r.makespan, 6.0);
 }
 
+// Regression for the unsound upper-bound cut: the external bound used to be
+// treated exclusively (`new_load >= best_ - 1e-12` with best_ tightened to
+// the bound WITHOUT a schedule), so a bound equal to OPT pruned every
+// optimal schedule and the solver returned the strictly worse greedy
+// incumbent — above its own reported bound — still flagged proven_optimal.
+TEST(Exact, BoundEqualToOptimumIsInclusive) {
+  // best_machine_schedule puts both jobs on machine 0 (4+1 < 5+1 per job)
+  // for makespan 9; the optimum splits them for makespan 6.
+  Instance inst(2, 1, {0, 0});
+  for (JobId j = 0; j < 2; ++j) {
+    inst.set_proc(0, j, 4);
+    inst.set_proc(1, j, 5);
+  }
+  inst.set_setup(0, 0, 1);
+  inst.set_setup(1, 0, 1);
+  ASSERT_DOUBLE_EQ(makespan(inst, best_machine_schedule(inst)), 9.0);
+
+  for (const bool lp : {false, true}) {
+    ExactOptions opt;
+    opt.use_lp_bounds = lp;
+    opt.initial_upper_bound = 6.0;  // == OPT: inclusive, must be attained
+    const ExactResult r = solve_exact(inst, opt);
+    EXPECT_TRUE(r.proven_optimal) << "lp=" << lp;
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0) << "lp=" << lp;
+    // The returned schedule must actually meet the reported makespan (the
+    // old bug returned the greedy schedule with makespan 9 here).
+    EXPECT_NEAR(makespan(inst, r.schedule), r.makespan, 1e-12) << "lp=" << lp;
+    EXPECT_LE(r.makespan, opt.initial_upper_bound + 1e-9) << "lp=" << lp;
+  }
+}
+
 TEST(Exact, UniformOverloadMatchesUnrelated) {
   UniformGenParams p;
   p.num_jobs = 8;
@@ -88,18 +125,76 @@ TEST(Exact, UniformOverloadMatchesUnrelated) {
   EXPECT_NEAR(a.makespan, b.makespan, 1e-9);
 }
 
+ExactOptions no_lp_options() {
+  ExactOptions opt;
+  opt.use_lp_bounds = false;
+  return opt;
+}
+
 TEST(Exact, NodeBudgetAborts) {
   UnrelatedGenParams p;
   p.num_jobs = 14;
   p.num_machines = 4;
   p.num_classes = 5;
   const Instance inst = generate_unrelated(p, 5);
-  ExactOptions opt;
+  ExactOptions opt = no_lp_options();
   opt.max_nodes = 10;
   const ExactResult r = solve_exact(inst, opt);
   EXPECT_FALSE(r.proven_optimal);
-  // Still returns a feasible schedule (the greedy incumbent).
+  EXPECT_LE(r.nodes, 10u);
+  // Still returns a feasible schedule (the greedy incumbent) with a
+  // certified gap against the combinatorial lower bound.
   EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+  EXPECT_GT(r.gap, 0.0);
+  EXPECT_TRUE(std::isfinite(r.gap));
+  EXPECT_GE(r.makespan, r.lower_bound);
+}
+
+// A one-node budget is the extreme abort path: the result must be the
+// incumbent with proven_optimal == false and a finite positive gap — never
+// a silent claim of ground truth.
+TEST(Exact, OneNodeBudgetReportsGapNotOptimality) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 5);
+  for (const bool lp : {false, true}) {
+    ExactOptions opt;
+    opt.use_lp_bounds = lp;
+    opt.max_nodes = 1;
+    const ExactResult r = solve_exact(inst, opt);
+    EXPECT_FALSE(r.proven_optimal) << "lp=" << lp;
+    EXPECT_GT(r.gap, 0.0) << "lp=" << lp;
+    EXPECT_TRUE(std::isfinite(r.gap)) << "lp=" << lp;
+    EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+  }
+}
+
+// Regression for the off-by-one budget check: a tree fully explored at
+// EXACTLY max_nodes nodes used to be flagged aborted. Only a search that
+// actually stops early may clear proven_optimal.
+TEST(Exact, ExactlyExhaustedBudgetStaysProven) {
+  UnrelatedGenParams p;
+  p.num_jobs = 9;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  const Instance inst = generate_unrelated(p, 7);
+  const ExactResult full = solve_exact(inst, no_lp_options());
+  ASSERT_TRUE(full.proven_optimal);
+  ASSERT_GT(full.nodes, 1u);
+
+  ExactOptions exact_budget = no_lp_options();
+  exact_budget.max_nodes = full.nodes;
+  const ExactResult at_budget = solve_exact(inst, exact_budget);
+  EXPECT_TRUE(at_budget.proven_optimal);
+  EXPECT_EQ(at_budget.nodes, full.nodes);
+  EXPECT_DOUBLE_EQ(at_budget.makespan, full.makespan);
+
+  ExactOptions too_small = no_lp_options();
+  too_small.max_nodes = full.nodes - 1;
+  const ExactResult truncated = solve_exact(inst, too_small);
+  EXPECT_FALSE(truncated.proven_optimal);
 }
 
 /// Reference: plain exhaustive enumeration, no pruning.
@@ -108,7 +203,6 @@ double enumerate_opt(const Instance& inst) {
   const std::size_t m = inst.num_machines();
   Schedule s = Schedule::empty(n);
   double best = kInfinity;
-  std::vector<std::size_t> stack(n, 0);
   const auto recurse = [&](auto&& self, std::size_t depth) -> void {
     if (depth == n) {
       if (!schedule_error(inst, s).has_value()) {
@@ -127,6 +221,24 @@ double enumerate_opt(const Instance& inst) {
   return best;
 }
 
+/// Differential contract shared by every randomized suite below: both LP
+/// configurations must reproduce brute force exactly and report a coherent
+/// certificate.
+void expect_matches_enumeration(const Instance& inst, std::uint64_t seed) {
+  const double reference = enumerate_opt(inst);
+  for (const bool lp : {false, true}) {
+    ExactOptions opt;
+    opt.use_lp_bounds = lp;
+    const ExactResult r = solve_exact(inst, opt);
+    EXPECT_TRUE(r.proven_optimal) << "seed " << seed << " lp " << lp;
+    EXPECT_NEAR(r.makespan, reference, 1e-9) << "seed " << seed << " lp " << lp;
+    EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+    EXPECT_NEAR(makespan(inst, r.schedule), r.makespan, 1e-9);
+    EXPECT_DOUBLE_EQ(r.gap, 0.0);
+    EXPECT_NEAR(r.lower_bound, r.makespan, 1e-9);
+  }
+}
+
 class ExactRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ExactRandomTest, MatchesExhaustiveEnumeration) {
@@ -135,17 +247,48 @@ TEST_P(ExactRandomTest, MatchesExhaustiveEnumeration) {
   p.num_machines = 3;
   p.num_classes = 3;
   p.eligibility = 0.8;
-  const Instance inst = generate_unrelated(p, GetParam());
-  const double reference = enumerate_opt(inst);
-  const ExactResult r = solve_exact(inst);
-  EXPECT_TRUE(r.proven_optimal);
-  EXPECT_NEAR(r.makespan, reference, 1e-9) << "seed " << GetParam();
-  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
-  EXPECT_NEAR(makespan(inst, r.schedule), r.makespan, 1e-9);
+  expect_matches_enumeration(generate_unrelated(p, GetParam()), GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactRandomTest,
                          ::testing::Range<std::uint64_t>(0, 25));
+
+class ExactHolesRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Aggressive eligibility holes (each job still has one machine by the
+// generator contract): pruning and symmetry breaking must stay sound when
+// machines are not interchangeable for every job.
+TEST_P(ExactHolesRandomTest, MatchesEnumerationWithEligibilityHoles) {
+  UnrelatedGenParams p;
+  p.num_jobs = 9;
+  p.num_machines = 3;
+  p.num_classes = 4;
+  p.eligibility = 0.5;
+  expect_matches_enumeration(generate_unrelated(p, GetParam() + 100),
+                             GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactHolesRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+class ExactZeroSetupRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Zero setup times degenerate the problem to plain R||Cmax; the setup-aware
+// pruning (class_on bookkeeping, paid-setup dominance) must not break.
+TEST_P(ExactZeroSetupRandomTest, MatchesEnumerationWithZeroSetups) {
+  UnrelatedGenParams p;
+  p.num_jobs = 8;
+  p.num_machines = 3;
+  p.num_classes = 2;
+  p.min_setup = 0.0;
+  p.max_setup = 0.0;
+  expect_matches_enumeration(generate_unrelated(p, GetParam() + 300),
+                             GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactZeroSetupRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
 
 class ExactUniformRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -176,6 +319,96 @@ TEST(Exact, SymmetryBreakingStillOptimal) {
   const ExactResult r = solve_exact(inst);
   EXPECT_TRUE(r.proven_optimal);
   EXPECT_NEAR(r.makespan, reference, 1e-9);
+}
+
+// Acceptance pin: on an n=14 unrelated instance the LP-bounded search must
+// close the tree with >= 5x fewer nodes than the seed-equivalent
+// configuration (DFS with combinatorial bounds only, no memo), at the same
+// optimum. This is the instance class the seed solver could not close
+// within small node budgets.
+TEST(Exact, LpBoundsCutNodesAtLeastFiveFold) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 23);
+
+  ExactOptions seed_like = no_lp_options();
+  seed_like.memo_limit = 0;
+  const ExactResult plain = solve_exact(inst, seed_like);
+
+  ExactOptions lp_bounded;
+  lp_bounded.lp_bound_depth = 14;
+  const ExactResult bounded = solve_exact(inst, lp_bounded);
+
+  ASSERT_TRUE(plain.proven_optimal);
+  ASSERT_TRUE(bounded.proven_optimal);
+  EXPECT_NEAR(plain.makespan, bounded.makespan, 1e-9);
+  EXPECT_GT(bounded.lp_bounds_used, 0u);
+  EXPECT_GE(plain.nodes, 5 * bounded.nodes)
+      << "plain " << plain.nodes << " vs lp " << bounded.nodes;
+}
+
+TEST(ExactDive, FindsOptimumOnTinyInstancesAndProvesIt) {
+  // With a beam wider than the full state space the dive is exhaustive, so
+  // it must return the brute-force optimum and may claim proven_optimal.
+  UnrelatedGenParams p;
+  p.num_jobs = 7;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance inst = generate_unrelated(p, seed);
+    const double reference = enumerate_opt(inst);
+    ExactOptions opt;
+    opt.mode = ExactMode::kDive;
+    opt.beam_width = 100000;
+    const ExactResult r = solve_exact(inst, opt);
+    EXPECT_TRUE(r.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(r.makespan, reference, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(ExactDive, MidSizeIncumbentCarriesCertifiedGap) {
+  UnrelatedGenParams p;
+  p.num_jobs = 40;
+  p.num_machines = 6;
+  p.num_classes = 8;
+  p.eligibility = 0.85;
+  p.correlated = true;
+  const Instance inst = generate_unrelated(p, 1);
+  ExactOptions opt;
+  opt.mode = ExactMode::kDive;
+  opt.time_limit_s = 10.0;
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+  EXPECT_NEAR(makespan(inst, r.schedule), r.makespan, 1e-9);
+  EXPECT_GE(r.gap, 0.0);
+  EXPECT_TRUE(std::isfinite(r.gap));
+  EXPECT_GE(r.makespan, r.lower_bound * (1.0 - 1e-9));
+  EXPECT_GE(r.lower_bound, unrelated_lower_bound(inst) * (1.0 - 1e-9));
+  EXPECT_GT(r.nodes, 0u);
+  // The dive must beat the trivial incumbent it starts from.
+  EXPECT_LE(r.makespan, makespan(inst, best_machine_schedule(inst)) + 1e-9);
+}
+
+TEST(ExactDive, NeverClaimsOptimalityBelowTheBound) {
+  // Dive on a hard mid-size instance: whatever it returns, a proven claim
+  // must coincide with a zero gap and makespan == lower_bound.
+  UnrelatedGenParams p;
+  p.num_jobs = 30;
+  p.num_machines = 5;
+  p.num_classes = 6;
+  const Instance inst = generate_unrelated(p, 9);
+  ExactOptions opt;
+  opt.mode = ExactMode::kDive;
+  opt.beam_width = 64;
+  const ExactResult r = solve_exact(inst, opt);
+  if (r.proven_optimal) {
+    EXPECT_DOUBLE_EQ(r.gap, 0.0);
+    EXPECT_NEAR(r.makespan, r.lower_bound, 1e-9 * std::max(1.0, r.makespan));
+  } else {
+    EXPECT_GT(r.gap, 0.0);
+  }
 }
 
 }  // namespace

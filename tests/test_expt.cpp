@@ -147,6 +147,10 @@ RunRecord sample_record() {
   r.time_ms = 0.125;
   r.lp_solves = 7;
   r.lp_iterations = 431;
+  r.nodes = 1234;
+  r.lp_bounds_used = 5;
+  r.proven_optimal = true;
+  r.gap = 0.0;
   r.epsilon = 0.5;
   r.precision = 0.05;
   r.time_limit_s = 10.0;
@@ -213,6 +217,7 @@ TEST(ExptRecordIo, CsvHeaderAndQuoting) {
   EXPECT_EQ(out.substr(0, out.find('\n')),
             "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
             "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,"
+            "nodes,lp_bounds_used,proven_optimal,gap,"
             "epsilon,precision,time_limit_s,error");
   EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
 }
@@ -274,12 +279,51 @@ TEST(ExptHarness, RecordsCarryCellKeysStatusesAndBounds) {
       // The lower bound is genuine, so validated makespans sit above it.
       EXPECT_GE(r.ratio, 1.0 - 1e-9);
       EXPECT_NEAR(r.ratio, r.makespan / r.lower_bound, 1e-12);
-      // LP-free solvers report zero solver-level LP effort.
+      // LP-free solvers report zero solver-level LP effort and issue no
+      // optimality certificate.
       EXPECT_EQ(r.lp_solves, 0u);
       EXPECT_EQ(r.lp_iterations, 0u);
+      EXPECT_EQ(r.nodes, 0u);
+      EXPECT_EQ(r.lp_bounds_used, 0u);
+      EXPECT_FALSE(r.proven_optimal);
+      EXPECT_DOUBLE_EQ(r.gap, -1.0);
     } else {
       EXPECT_DOUBLE_EQ(r.makespan, 0.0);
       EXPECT_TRUE(r.error.empty());
+    }
+  }
+}
+
+// The mid-size ground-truth scenario: an exact-included sweep on the
+// unrelated-midsize preset must report a per-run gap for the search solvers
+// and may never mislabel a budget-exhausted run as proven-optimal.
+TEST(ExptHarness, MidsizeExactSweepCertificatesAreCoherent) {
+  ExperimentPlan plan;
+  plan.presets = {"unrelated-midsize"};
+  plan.solvers = {"exact", "exact-dive", "greedy"};
+  plan.seed_begin = 1;
+  plan.seed_end = 2;
+  plan.time_limit_s = 1.0;  // hopeless for proving n=40: must abort honestly
+  plan.threads = 1;
+  plan.record_timing = false;
+  const std::vector<RunRecord> records = run_experiment(plan);
+  ASSERT_EQ(records.size(), plan.num_cells());
+  for (const RunRecord& r : records) {
+    ASSERT_EQ(r.status, RunStatus::kOk) << r.solver << ": " << r.error;
+    if (r.solver == "greedy") {
+      EXPECT_FALSE(r.proven_optimal);
+      EXPECT_DOUBLE_EQ(r.gap, -1.0);
+      continue;
+    }
+    // Search solvers always carry a certificate...
+    EXPECT_GE(r.gap, 0.0) << r.solver;
+    EXPECT_GT(r.nodes, 0u) << r.solver;
+    // ...and a proven claim coincides with a closed gap: a budget abort
+    // must surface as proven_optimal == false with gap > 0.
+    if (r.proven_optimal) {
+      EXPECT_DOUBLE_EQ(r.gap, 0.0) << r.solver;
+    } else {
+      EXPECT_GT(r.gap, 0.0) << r.solver;
     }
   }
 }
@@ -289,7 +333,8 @@ TEST(ExptHarness, RecordsCarryCellKeysStatusesAndBounds) {
 RunRecord bucket_record(const std::string& solver, const std::string& preset,
                         RunStatus status, double ratio, double time_ms,
                         std::size_t lp_solves = 0,
-                        std::size_t lp_iterations = 0) {
+                        std::size_t lp_iterations = 0,
+                        bool proven_optimal = false, double gap = -1.0) {
   RunRecord r;
   r.solver = solver;
   r.preset = preset;
@@ -298,6 +343,8 @@ RunRecord bucket_record(const std::string& solver, const std::string& preset,
   r.time_ms = time_ms;
   r.lp_solves = lp_solves;
   r.lp_iterations = lp_iterations;
+  r.proven_optimal = proven_optimal;
+  r.gap = gap;
   return r;
 }
 
@@ -305,8 +352,12 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
   const std::vector<RunRecord> records{
       // zeta/p1: ratios {1.0, 1.5, 2.0}, times {10, 20, 30}, lp solves
       // {8, 6, 10} and iterations {400, 200, 600}, 1 skip, 1 error.
-      bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0, 8, 400),
-      bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0, 6, 200),
+      // Certificates: one proven optimum (gap 0), one budget-exhausted run
+      // (gap 0.25), one heuristic cell (no certificate, gap -1).
+      bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0, 8, 400, true,
+                    0.0),
+      bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0, 6, 200, false,
+                    0.25),
       bucket_record("zeta", "p1", RunStatus::kOk, 2.0, 30.0, 10, 600),
       bucket_record("zeta", "p1", RunStatus::kSkipped, 0.0, 0.0),
       bucket_record("zeta", "p1", RunStatus::kError, 0.0, 0.0),
@@ -351,6 +402,14 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
   EXPECT_DOUBLE_EQ(summaries[2].lp_solves_mean, 8.0);
   EXPECT_DOUBLE_EQ(summaries[2].lp_iterations_mean, 400.0);
   EXPECT_DOUBLE_EQ(summaries[0].lp_solves_mean, 0.0);
+  // Certificates: proven counts solver-certified optima only; gap_mean
+  // averages the certified cells ({0.0, 0.25}) and ignores the -1 sentinel.
+  EXPECT_EQ(summaries[2].proven, 1u);
+  EXPECT_EQ(summaries[2].certified, 2u);
+  EXPECT_DOUBLE_EQ(summaries[2].gap_mean, 0.125);
+  EXPECT_EQ(summaries[0].proven, 0u);
+  EXPECT_EQ(summaries[0].certified, 0u);
+  EXPECT_DOUBLE_EQ(summaries[0].gap_mean, 0.0);
 }
 
 TEST(ExptAggregate, SummaryTableHasOneRowPerBucket) {
@@ -385,6 +444,9 @@ TEST(ExptAggregate, BenchJsonContainsPlanCountsAndSummaries) {
   EXPECT_NE(out.find("\"lp\": \"auto\""), std::string::npos);
   EXPECT_NE(out.find("\"lp_solves_mean\""), std::string::npos);
   EXPECT_NE(out.find("\"lp_iterations_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"proven\""), std::string::npos);
+  EXPECT_NE(out.find("\"certified\""), std::string::npos);
+  EXPECT_NE(out.find("\"gap_mean\""), std::string::npos);
   EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
             std::count(out.begin(), out.end(), '}'));
 }
