@@ -1,8 +1,10 @@
 // A4 — micro-benchmarks of the LP substrate (google-benchmark): random
 // dense LPs and the scheduling LPs the algorithms actually build, with the
-// dense tableau pinned against the sparse revised simplex and the
-// assignment-LP T-search measured cold (fresh model per probe) vs warm
-// (one parametric model, basis chained across probes).
+// dense tableau pinned against the sparse revised simplex (candidate-list
+// vs Devex pricing), the assignment-LP T-search measured cold (fresh model
+// per probe) vs warm (one parametric model, basis chained across probes),
+// and the exact solver's min-makespan relaxation measured as a chain of
+// dual re-optimizations under pin changes.
 
 #include <benchmark/benchmark.h>
 
@@ -19,10 +21,25 @@ using namespace setsched;
 
 namespace {
 
+/// 0 = tableau, 1 = revised + candidate pricing, 2 = revised + Devex,
+/// 3 = dual-preferring revised + Devex.
 lp::SimplexOptions algorithm_options(std::int64_t which) {
   lp::SimplexOptions options;
-  options.algorithm = which == 0 ? lp::SimplexAlgorithm::kTableau
-                                 : lp::SimplexAlgorithm::kRevised;
+  switch (which) {
+    case 0: options.algorithm = lp::SimplexAlgorithm::kTableau; break;
+    case 1:
+      options.algorithm = lp::SimplexAlgorithm::kRevised;
+      options.pricing = lp::SimplexPricing::kCandidate;
+      break;
+    case 2:
+      options.algorithm = lp::SimplexAlgorithm::kRevised;
+      options.pricing = lp::SimplexPricing::kDevex;
+      break;
+    default:
+      options.algorithm = lp::SimplexAlgorithm::kDual;
+      options.pricing = lp::SimplexPricing::kDevex;
+      break;
+  }
   return options;
 }
 
@@ -43,7 +60,7 @@ lp::Model random_dense_lp(std::size_t vars, std::size_t cons, std::uint64_t seed
   return m;
 }
 
-/// Args: (vars, 0 = tableau / 1 = revised).
+/// Args: (vars, algorithm_options code).
 void BM_SimplexDense(benchmark::State& state) {
   const auto vars = static_cast<std::size_t>(state.range(0));
   const auto model = random_dense_lp(vars, vars / 2, 42);
@@ -55,9 +72,10 @@ void BM_SimplexDense(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexDense)
     ->Args({20, 0})->Args({60, 0})->Args({120, 0})
-    ->Args({20, 1})->Args({60, 1})->Args({120, 1});
+    ->Args({20, 1})->Args({60, 1})->Args({120, 1})
+    ->Args({20, 2})->Args({60, 2})->Args({120, 2});
 
-/// Args: (jobs, 0 = tableau / 1 = revised). One solve at the upper bound.
+/// Args: (jobs, algorithm_options code). One solve at the upper bound.
 void BM_AssignmentLp(benchmark::State& state) {
   UnrelatedGenParams p;
   p.num_jobs = static_cast<std::size_t>(state.range(0));
@@ -74,7 +92,54 @@ void BM_AssignmentLp(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignmentLp)
     ->Args({16, 0})->Args({32, 0})->Args({64, 0})
-    ->Args({16, 1})->Args({32, 1})->Args({64, 1});
+    ->Args({16, 1})->Args({32, 1})->Args({64, 1})
+    ->Args({16, 2})->Args({32, 2})->Args({64, 2});
+
+/// The exact solver's per-node workload: ONE min-makespan relaxation,
+/// re-optimized under a rolling chain of pin/unpin mutations. Args: (jobs,
+/// algorithm_options code) — code 3 (dual-preferring) is what LpBounder
+/// runs; code 1 approximates the PR 4 behavior (primal re-optimization).
+void BM_MakespanLpPinChain(benchmark::State& state) {
+  UnrelatedGenParams p;
+  p.num_jobs = static_cast<std::size_t>(state.range(0));
+  p.num_machines = 4;
+  p.num_classes = 5;
+  p.eligibility = 0.8;
+  const Instance inst = generate_unrelated(p, 13);
+  const double hi = unrelated_upper_bound(inst);
+  AssignmentLpOptions options;
+  options.makespan_objective = true;
+  options.simplex = algorithm_options(state.range(1));
+  // Pin targets must be pairs the model actually carries — eligible AND
+  // within the proc <= T_build filter — or run_solve short-circuits on
+  // impossible_pins_ and the benchmark times an early return instead of
+  // the simplex: rotate each job through its admissible-machine list.
+  const std::size_t prefix = std::min<std::size_t>(8, inst.num_jobs());
+  std::vector<MachineId> pin_target(prefix);
+  for (JobId j = 0; j < prefix; ++j) {
+    std::vector<MachineId> admissible;
+    for (MachineId i = 0; i < inst.num_machines(); ++i) {
+      if (inst.eligible(i, j) && inst.proc(i, j) <= hi) admissible.push_back(i);
+    }
+    pin_target[j] = admissible[j % admissible.size()];
+  }
+  for (auto _ : state) {
+    ParametricAssignmentLp lp(inst, hi, options);
+    benchmark::DoNotOptimize(lp.min_makespan(hi));
+    // A DFS-flavored pin walk: pin a prefix of jobs, probing after every
+    // mutation, then unwind.
+    for (JobId j = 0; j < prefix; ++j) {
+      lp.pin_job(j, pin_target[j]);
+      benchmark::DoNotOptimize(lp.min_makespan(hi));
+    }
+    for (JobId j = prefix; j-- > 0;) {
+      lp.unpin_job(j);
+      benchmark::DoNotOptimize(lp.min_makespan(hi));
+    }
+  }
+}
+BENCHMARK(BM_MakespanLpPinChain)
+    ->Args({32, 1})->Args({32, 3})->Args({64, 1})->Args({64, 3});
 
 /// The geometric T-search solved the pre-PR-3 way: a fresh model and a cold
 /// revised solve per probe (no warm starting, no re-parameterization).

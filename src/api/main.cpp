@@ -6,10 +6,14 @@
 //   setsched_cli --all           (--instance=<file> | --generate=<preset>)
 //   setsched_cli --batch (--solver=<name> ... | --all) --generate=<presets>
 //                [--seeds=N | --seeds=A..B] [--threads=N] [--jsonl=PATH]
+//                [--no-timing]
 //
-// Options: --seed=N --epsilon=E --precision=P --time-limit=S --csv
+// Options: --seed=N --epsilon=E --precision=P --time-limit=S
+//          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex --csv
 // Presets: uniform-small uniform-large unrelated-small unrelated-medium
-//          restricted class-uniform planted
+//          unrelated-midsize restricted class-uniform planted
+// (The README's flag table and docs/SOLVERS.md mirror this block; the
+// docs-vs-registry ctest keeps the preset/solver listings honest.)
 
 #include <cmath>
 #include <exception>
@@ -58,7 +62,8 @@ void print_usage(std::ostream& os) {
      << "       setsched_cli (--solver=<name> ... | --all)\n"
      << "                    (--instance=<file> | --generate=<preset>)\n"
      << "                    [--seed=N] [--epsilon=E] [--precision=P]\n"
-     << "                    [--time-limit=S] [--lp=auto|tableau|revised] [--csv]\n"
+     << "                    [--time-limit=S] [--lp=auto|tableau|revised|dual]\n"
+     << "                    [--lp-pricing=candidate|devex] [--csv]\n"
      << "       setsched_cli --batch (--solver=<name> ... | --all)\n"
      << "                    --generate=<preset,...> [--seeds=N | --seeds=A..B]\n"
      << "                    [--threads=N] [--jsonl=PATH] [--no-timing]\n"
@@ -110,6 +115,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         options.context.precision = std::stod(value);
       } else if (consume(arg, "--time-limit", &value)) {
         options.context.time_limit_s = std::stod(value);
+      } else if (consume(arg, "--lp-pricing", &value)) {
+        options.context.lp_pricing = expt::lp_pricing_from_name(value);
       } else if (consume(arg, "--lp", &value)) {
         options.context.lp_algorithm = expt::lp_algorithm_from_name(value);
       } else {
@@ -278,6 +285,7 @@ int run_batch(const CliOptions& options) {
   plan.precision = options.context.precision;
   plan.time_limit_s = options.context.time_limit_s;
   plan.lp_algorithm = options.context.lp_algorithm;
+  plan.lp_pricing = options.context.lp_pricing;
   plan.threads = options.threads;
   plan.record_timing = options.record_timing;
   plan.validate();

@@ -76,10 +76,20 @@ SolverStats exact_stats(const ExactResult& result) {
   SolverStats stats;
   stats.lp_solves = result.lp_bounds_used;
   stats.lp_iterations = result.lp_iterations;
+  stats.lp_dual_solves = result.lp_dual_solves;
   stats.nodes = result.nodes;
   stats.lp_bounds_used = result.lp_bounds_used;
+  stats.fixed_vars = result.fixed_vars;
   stats.proven_optimal = result.proven_optimal;
   stats.gap = result.gap;
+  return stats;
+}
+
+SolverStats rounding_stats(const RoundingResult& result) {
+  SolverStats stats;
+  stats.lp_solves = result.lp_solves;
+  stats.lp_iterations = result.lp_iterations;
+  stats.lp_dual_solves = result.lp_dual_solves;
   return stats;
 }
 
@@ -88,6 +98,7 @@ RoundingOptions rounding_options(const SolverContext& context) {
   options.seed = context.seed;
   options.search_precision = context.precision;
   options.lp.simplex.algorithm = context.lp_algorithm;
+  options.lp.simplex.pricing = context.lp_pricing;
   options.pool = context.pool;
   return options;
 }
@@ -138,6 +149,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
       [](const ProblemInput& input, const SolverContext& context) {
         AssignmentLpOptions options;
         options.simplex.algorithm = context.lp_algorithm;
+        options.simplex.pricing = context.lp_pricing;
         ScheduleResult result =
             argmax_rounding(input.instance, context.precision, options);
         return finish(input.instance, std::move(result.schedule),
@@ -148,17 +160,18 @@ void register_builtin_solvers(SolverRegistry& registry) {
         const RoundingResult result =
             randomized_rounding(input.instance, rounding_options(context));
         return finish(input.instance, result.schedule,
-                      {result.lp_solves, result.lp_iterations});
+                      rounding_stats(result));
       });
   add("colgen", nullptr,
       [](const ProblemInput& input, const SolverContext& context) {
         ConfigLpOptions config;
         config.pool = context.pool;
         config.simplex.algorithm = context.lp_algorithm;
+        config.simplex.pricing = context.lp_pricing;
         const RoundingResult result = randomized_rounding_config(
             input.instance, rounding_options(context), config);
         return finish(input.instance, result.schedule,
-                      {result.lp_solves, result.lp_iterations});
+                      rounding_stats(result));
       });
 
   // -- Special structures (Section 3.3) ------------------------------------
@@ -166,6 +179,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
       [](const ProblemInput& input, const SolverContext& context) {
         lp::SimplexOptions simplex;
         simplex.algorithm = context.lp_algorithm;
+        simplex.pricing = context.lp_pricing;
         const ConstantApproxResult result =
             two_approx_restricted(input.instance, context.precision, simplex);
         return finish(input.instance, result.schedule,
@@ -175,6 +189,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
       [](const ProblemInput& input, const SolverContext& context) {
         lp::SimplexOptions simplex;
         simplex.algorithm = context.lp_algorithm;
+        simplex.pricing = context.lp_pricing;
         const ConstantApproxResult result = three_approx_class_uniform(
             input.instance, context.precision, simplex);
         return finish(input.instance, result.schedule,
@@ -188,6 +203,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
         options.time_limit_s = context.time_limit_s;
         options.initial_upper_bound = unrelated_upper_bound(input.instance);
         options.lp_algorithm = context.lp_algorithm;
+        options.lp_pricing = context.lp_pricing;
         const ExactResult result = solve_exact(input.instance, options);
         return finish(input.instance, result.schedule, exact_stats(result));
       });
@@ -197,6 +213,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
         options.mode = ExactMode::kDive;
         options.time_limit_s = context.time_limit_s;
         options.lp_algorithm = context.lp_algorithm;
+        options.lp_pricing = context.lp_pricing;
         const ExactResult result = solve_exact(input.instance, options);
         return finish(input.instance, result.schedule, exact_stats(result));
       });

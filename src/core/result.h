@@ -14,10 +14,17 @@ namespace setsched {
 struct SolverStats {
   std::size_t lp_solves = 0;
   std::size_t lp_iterations = 0;
+  /// LP solves the dual simplex re-optimized (warm bases turned
+  /// primal-infeasible by a re-parameterization, or explicit kDual runs);
+  /// the complement of lp_solves went through the primal path.
+  std::size_t lp_dual_solves = 0;
   /// Search-tree nodes expanded (exact branch-and-bound / dive solvers).
   std::size_t nodes = 0;
   /// LP relaxation probes spent on search-tree bounding.
   std::size_t lp_bounds_used = 0;
+  /// Job-machine variables excluded by reduced-cost fixing at search nodes
+  /// (exact solvers with LP bounds; 0 elsewhere).
+  std::size_t fixed_vars = 0;
   /// True only when the solver certified its schedule optimal. A search
   /// solver that ran out of budget MUST leave this false — consumers treat
   /// proven results as ground truth.

@@ -38,11 +38,20 @@ class ProveSolver {
     update_cutoff();
 
     if (opt_.use_lp_bounds && prune_at_ > 0.0 && !incumbent_meets_lb()) {
-      bounder_.emplace(inst_, prune_at_, opt_.lp_algorithm);
+      lp::SimplexOptions simplex;
+      simplex.algorithm = opt_.lp_algorithm;
+      simplex.pricing = opt_.lp_pricing;
+      bounder_.emplace(inst_, prune_at_, simplex);
       if (bounder_->available()) {
         lower_bound_ = std::max(
             lower_bound_, bounder_->root_lower_bound(lower_bound_, prune_at_,
                                                      opt_.root_bound_precision));
+        // Root reduced-cost fixing: pairs the root relaxation proves
+        // incompatible with beating the cutoff are excluded for the whole
+        // search (never undone).
+        if (opt_.reduced_cost_fixing && !incumbent_meets_lb()) {
+          bounder_->fix_dominated(prune_at_, &fix_undo_);
+        }
       }
     }
 
@@ -62,7 +71,9 @@ class ProveSolver {
     out.nodes = nodes_;
     if (bounder_) {
       out.lp_bounds_used = bounder_->probes();
+      out.lp_dual_solves = bounder_->dual_solves();
       out.lp_iterations = bounder_->iterations();
+      out.fixed_vars = bounder_->fixed_vars();
     }
     exact::certify(&out, lower_bound_, !aborted_);
     return out;
@@ -130,11 +141,17 @@ class ProveSolver {
       return;
     }
 
-    // LP relaxation with the path pinned: infeasible at the cutoff means no
-    // completion of this partial schedule can be accepted.
-    if (bounder_ && depth > 0 && depth <= opt_.lp_bound_depth &&
-        !bounder_->feasible(prune_at_)) {
-      return;
+    // LP relaxation with the path pinned: a fractional bound at or above the
+    // cutoff means no completion of this partial schedule can be accepted.
+    // A surviving node's duals feed reduced-cost fixing: pairs whose reduced
+    // cost exceeds the incumbent gap are excluded for this whole subtree
+    // (undone on exit; the cutoff only tightens, so fixes stay valid).
+    const std::size_t fix_base = fix_undo_.size();
+    if (bounder_ && depth > 0 && depth <= opt_.lp_bound_depth) {
+      if (!bounder_->feasible(prune_at_)) return;
+      if (opt_.reduced_cost_fixing) {
+        bounder_->fix_dominated(prune_at_, &fix_undo_);
+      }
     }
 
     const JobId j = plan_.order[depth];
@@ -149,6 +166,7 @@ class ProveSolver {
     options.reserve(m_);
     for (MachineId i = 0; i < m_; ++i) {
       if (!inst_.eligible(i, j)) continue;
+      if (bounder_ && bounder_->pair_fixed(j, i)) continue;
       if (exact::symmetric_duplicate(inst_, plan_, i, loads_, class_on_)) {
         continue;
       }
@@ -183,7 +201,10 @@ class ProveSolver {
       current_.assignment[j] = kUnassigned;
       flag = old_flag;
       loads_[i] = old_load;
-      if (aborted_ || optimal_reached_) return;
+      if (aborted_ || optimal_reached_) return;  // search over; no unfix
+    }
+    if (bounder_ && fix_undo_.size() > fix_base) {
+      bounder_->unfix(&fix_undo_, fix_base);
     }
   }
 
@@ -195,6 +216,9 @@ class ProveSolver {
   SearchPlan plan_;
   std::optional<LpBounder> bounder_;
   std::optional<DominanceTable> memo_;
+  /// Reduced-cost fix trail: each node unfixes back to the size it saw on
+  /// entry (root fixes at the front are permanent).
+  std::vector<std::pair<JobId, MachineId>> fix_undo_;
 
   Schedule current_ = Schedule::empty(0);
   std::vector<double> loads_;

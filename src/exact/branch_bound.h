@@ -36,23 +36,37 @@ struct ExactOptions {
   /// search vacuous, exactly as a MIP cutoff would.) 0 = none.
   double initial_upper_bound = 0.0;
   /// Prune nodes whose assignment-LP relaxation (path jobs pinned to their
-  /// machines) is infeasible at the current cutoff, and certify the root
-  /// lower bound used for gap reporting. One parametric model is built once
-  /// and re-parameterized down the tree; every probe warm-starts from the
-  /// previous node's basis (see unrelated/assignment_lp.h).
+  /// machines) cannot beat the current cutoff, and certify the root lower
+  /// bound used for gap reporting. One parametric min-makespan model is
+  /// built once and re-parameterized down the tree; every probe is a dual
+  /// re-optimization warm-started from the previous node's basis (see
+  /// exact/lp_bound.h).
   bool use_lp_bounds = true;
   /// LP-probe nodes at depth <= lp_bound_depth only — the top of the tree,
   /// where one pruned node kills an exponential subtree and the probe cost
   /// amortizes.
   std::size_t lp_bound_depth = 12;
-  /// Multiplicative precision of the root lower-bound search.
+  /// Reduced-cost variable fixing at LP-probed nodes (and at the root):
+  /// duals of the node relaxation fix job-machine pairs whose reduced cost
+  /// exceeds the incumbent gap, shrinking the branching factor of the whole
+  /// subtree. Requires use_lp_bounds.
+  bool reduced_cost_fixing = true;
+  /// Kept for API compatibility with the PR 4 geometric root-bound
+  /// bisection; the min-makespan LP certifies the root bound exactly, so
+  /// this knob is no longer read.
   double root_bound_precision = 1e-4;
   /// Dominance memo: states kept per depth (0 disables the memo).
   std::size_t memo_limit = 256;
   /// kDive: beam width per level.
   std::size_t beam_width = 256;
-  /// Simplex implementation for the LP bounds.
+  /// Simplex implementation for the LP bounds (kAuto upgrades to kDual, the
+  /// natural engine for the min-makespan relaxation; kTableau forces the
+  /// dense reference oracle end to end for before/after sweeps).
   lp::SimplexAlgorithm lp_algorithm = lp::SimplexAlgorithm::kAuto;
+  /// Primal pricing rule for the LP bounds' revised solver (the node
+  /// probes run the dual simplex, which always uses Devex row weights;
+  /// this only affects primal fallbacks).
+  lp::SimplexPricing lp_pricing = lp::SimplexPricing::kCandidate;
 };
 
 /// Result contract of the exact subsystem. `proven_optimal` distinguishes
@@ -75,8 +89,13 @@ struct ExactResult {
   /// Assignment-LP relaxation probes spent on bounding (root search plus
   /// per-node feasibility probes).
   std::size_t lp_bounds_used = 0;
+  /// Probes the dual simplex re-optimized (vs cold/primal solves).
+  std::size_t lp_dual_solves = 0;
   /// Simplex iterations across those probes.
   std::size_t lp_iterations = 0;
+  /// Job-machine pairs excluded by reduced-cost fixing (cumulative across
+  /// the search; subtree-local fixes count once per application).
+  std::size_t fixed_vars = 0;
 };
 
 /// Exact / ground-truth solver over job -> machine assignments.

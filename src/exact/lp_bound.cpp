@@ -6,10 +6,17 @@
 namespace setsched::exact {
 
 LpBounder::LpBounder(const Instance& instance, double T_build,
-                     lp::SimplexAlgorithm algorithm) {
+                     const lp::SimplexOptions& simplex) {
   if (T_build <= 0.0) return;
   AssignmentLpOptions options;
-  options.simplex.algorithm = algorithm;
+  options.makespan_objective = true;
+  options.simplex = simplex;
+  if (options.simplex.algorithm == lp::SimplexAlgorithm::kAuto) {
+    // The min-T objective is all-nonnegative, so every basis is
+    // dual-feasible: the dual simplex solves these relaxations end to end
+    // (cold and warm) without a single phase-1 pivot.
+    options.simplex.algorithm = lp::SimplexAlgorithm::kDual;
+  }
   lp_.emplace(instance, T_build, options);
 }
 
@@ -18,24 +25,21 @@ bool LpBounder::feasible(double T) {
   return lp_->feasible(T);
 }
 
-double LpBounder::root_lower_bound(double lo, double hi, double precision) {
+double LpBounder::root_lower_bound(double lo, double hi,
+                                   double precision) {
+  (void)precision;  // the LP optimum needs no bisection
   if (!lp_ || hi <= 0.0 || lo >= hi) return lo;
-  // Geometric bisection needs a positive left endpoint; a combinatorial
-  // bound of ~0 is replaced by a sliver of hi (still a valid lower bound on
-  // the first probe value).
-  double left = std::max(lo, hi * 1e-6);
-  if (lp_->feasible(left)) return lo;  // LP cannot improve on `lo`
-  double right = hi;
-  while (right / left > 1.0 + precision) {
-    const double mid = std::sqrt(left * right);
-    if (lp_->feasible(mid)) {
-      right = mid;
-    } else {
-      left = mid;
-    }
-  }
-  // `left` is LP-infeasible: no schedule (even fractional) meets it.
-  return std::max(lo, left);
+  const std::optional<double> value = lp_->min_makespan(hi);
+  if (!value.has_value()) return lo;  // impossible pins cannot happen at root
+  return std::max(lo, *value);
+}
+
+std::size_t LpBounder::fix_dominated(
+    double cutoff, std::vector<std::pair<JobId, MachineId>>* undo) {
+  if (!lp_) return 0;
+  const std::size_t fixed = lp_->fix_dominated(cutoff, undo);
+  fixed_ += fixed;
+  return fixed;
 }
 
 }  // namespace setsched::exact

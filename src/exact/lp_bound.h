@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/instance.h"
 #include "lp/simplex.h"
@@ -10,18 +12,29 @@
 namespace setsched::exact {
 
 /// Assignment-LP relaxation bounds for the branch-and-bound: ONE parametric
-/// model (unrelated/assignment_lp.h) built at the initial cutoff and
-/// re-parameterized down the search tree. Jobs on the DFS path are pinned to
-/// their machines; every probe warm-starts the revised simplex from the
-/// previous node's basis, so a probe is a short re-optimization, not a cold
-/// phase-1 solve.
+/// model (unrelated/assignment_lp.h) in *makespan-objective* mode, built at
+/// the initial cutoff and re-parameterized down the search tree. Jobs on the
+/// DFS path are pinned to their machines; every probe warm-starts the
+/// simplex from the previous node's basis, and because the min-T objective
+/// is all-nonnegative, every probe is a pure dual re-optimization (the
+/// bounder forces SimplexAlgorithm::kDual unless the caller overrides the
+/// engine). One solve per node yields three things:
+///   * the node lower bound (the minimum fractional makespan of any
+///     completion respecting the pins) — prune when it meets the cutoff;
+///   * the certified root lower bound (the same solve with no pins), which
+///     replaces PR 4's geometric feasibility bisection with a single LP;
+///   * reduced costs for variable fixing: pairs whose reduced cost exceeds
+///     the incumbent gap can never appear in an improving completion and are
+///     fixed to zero for the whole subtree (fix_dominated / unfix).
 class LpBounder {
  public:
   /// Builds the relaxation at `T_build` (the loosest value that will ever be
   /// probed; the initial cutoff). A non-positive T_build disables the
-  /// bounder (available() == false) — probes then never prune.
+  /// bounder (available() == false) — probes then never prune. `simplex`
+  /// selects the engine/pricing; kAuto is upgraded to kDual (the natural
+  /// engine for the all-nonnegative-cost min-T LP).
   LpBounder(const Instance& instance, double T_build,
-            lp::SimplexAlgorithm algorithm);
+            const lp::SimplexOptions& simplex);
 
   [[nodiscard]] bool available() const noexcept { return lp_.has_value(); }
 
@@ -32,31 +45,58 @@ class LpBounder {
     if (lp_) lp_->unpin_job(j);
   }
 
-  /// True iff a fractional completion respecting the pins with makespan <= T
-  /// exists (or the bounder is unavailable). False certifies that no
-  /// completion of the pinned partial schedule has makespan <= T, so the
-  /// subtree can be pruned against a cutoff of T.
+  /// True iff a fractional completion respecting the pins and fixes with
+  /// makespan <= T exists (or the bounder is unavailable). False certifies
+  /// that no completion of the pinned partial schedule has makespan <= T, so
+  /// the subtree can be pruned against a cutoff of T.
   [[nodiscard]] bool feasible(double T);
 
-  /// Certified lower bound on OPT from the unpinned relaxation: geometric
-  /// bisection over [lo, hi] to multiplicative precision, returning the
-  /// largest probe value found infeasible (or `lo` when the LP is already
-  /// feasible there). Call before any pins are set. `lo` must itself be a
-  /// valid lower bound; the result never falls below it.
+  /// Certified lower bound on OPT from the unpinned relaxation: the LP
+  /// minimum fractional makespan, never below `lo` (itself a valid bound).
+  /// Call before any pins are set. `hi` caps the eligibility filters (any
+  /// schedule of interest has makespan <= hi); `precision` is kept for API
+  /// compatibility with the PR 4 bisection and is unused — the LP optimum is
+  /// exact.
   [[nodiscard]] double root_lower_bound(double lo, double hi,
                                         double precision);
+
+  /// Reduced-cost fixing against the most recent probe (feasible() /
+  /// root_lower_bound()): fixes every free pair that provably cannot appear
+  /// in a completion of makespan < cutoff, appends the pairs to *undo, and
+  /// returns how many were fixed. Callers undo with unfix(undo, old_size)
+  /// when leaving the subtree.
+  std::size_t fix_dominated(double cutoff,
+                            std::vector<std::pair<JobId, MachineId>>* undo);
+
+  /// Reverts the fixes in undo[from..] (see fix_dominated).
+  void unfix(std::vector<std::pair<JobId, MachineId>>* undo,
+             std::size_t from) {
+    if (lp_) lp_->unfix(undo, from);
+  }
+
+  /// True iff branching job j onto machine i is currently fixed away.
+  [[nodiscard]] bool pair_fixed(JobId j, MachineId i) const {
+    return lp_ && lp_->pair_fixed(j, i);
+  }
 
   /// LP probes issued (root search + node probes).
   [[nodiscard]] std::size_t probes() const noexcept {
     return lp_ ? lp_->lp_solves() : 0;
   }
+  /// Probes the dual simplex re-optimized.
+  [[nodiscard]] std::size_t dual_solves() const noexcept {
+    return lp_ ? lp_->dual_solves() : 0;
+  }
   /// Simplex iterations across all probes.
   [[nodiscard]] std::size_t iterations() const noexcept {
     return lp_ ? lp_->simplex_iterations() : 0;
   }
+  /// Total pairs ever fixed by fix_dominated (cumulative, before undos).
+  [[nodiscard]] std::size_t fixed_vars() const noexcept { return fixed_; }
 
  private:
   std::optional<ParametricAssignmentLp> lp_;
+  std::size_t fixed_ = 0;
 };
 
 }  // namespace setsched::exact

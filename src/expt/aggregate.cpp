@@ -21,8 +21,10 @@ struct Bucket {
   std::size_t failed = 0;
   std::vector<double> ratios;         // ok cells only
   std::vector<double> times_ms;       // ok cells only
-  std::vector<double> lp_solves;      // ok cells only
-  std::vector<double> lp_iterations;  // ok cells only
+  std::vector<double> lp_solves;       // ok cells only
+  std::vector<double> lp_iterations;   // ok cells only
+  std::vector<double> lp_dual_solves;  // ok cells only
+  std::vector<double> fixed_vars;      // ok cells only
   std::size_t proven = 0;             // ok cells certified optimal
   std::vector<double> gaps;           // ok cells with a certificate
 };
@@ -54,6 +56,9 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
         bucket.times_ms.push_back(r.time_ms);
         bucket.lp_solves.push_back(static_cast<double>(r.lp_solves));
         bucket.lp_iterations.push_back(static_cast<double>(r.lp_iterations));
+        bucket.lp_dual_solves.push_back(
+            static_cast<double>(r.lp_dual_solves));
+        bucket.fixed_vars.push_back(static_cast<double>(r.fixed_vars));
         if (r.proven_optimal) ++bucket.proven;
         if (r.gap >= 0.0) bucket.gaps.push_back(r.gap);
         break;
@@ -87,6 +92,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
     }
     s.lp_solves_mean = mean(bucket.lp_solves);
     s.lp_iterations_mean = mean(bucket.lp_iterations);
+    s.lp_dual_solves_mean = mean(bucket.lp_dual_solves);
+    s.fixed_vars_mean = mean(bucket.fixed_vars);
     s.proven = bucket.proven;
     s.certified = bucket.gaps.size();
     s.gap_mean = mean(bucket.gaps);
@@ -98,7 +105,7 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
 Table summary_table(std::span<const AggregateSummary> summaries) {
   Table table({"solver", "preset", "cells", "ok", "skipped", "failed",
                "proven", "gap_mean", "ratio_mean", "ratio_max", "time_p50_ms",
-               "time_p95_ms", "lp_solves", "lp_iters"});
+               "time_p95_ms", "lp_solves", "lp_iters", "lp_dual", "fixed"});
   for (const AggregateSummary& s : summaries) {
     table.row()
         .add(s.solver)
@@ -114,7 +121,9 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.time_p50_ms, 2)
         .add(s.time_p95_ms, 2)
         .add(s.lp_solves_mean, 1)
-        .add(s.lp_iterations_mean, 1);
+        .add(s.lp_iterations_mean, 1)
+        .add(s.lp_dual_solves_mean, 1)
+        .add(s.fixed_vars_mean, 1);
   }
   return table;
 }
@@ -142,6 +151,8 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
   os << ",\n    \"time_limit_s\": ";
   write_double(os, plan.time_limit_s);
   os << ",\n    \"lp\": \"" << lp_algorithm_name(plan.lp_algorithm) << '"';
+  os << ",\n    \"lp_pricing\": \"" << lp_pricing_name(plan.lp_pricing)
+     << '"';
   os << "\n  },\n  \"cells\": " << cells << ",\n  \"ok\": " << ok
      << ",\n  \"skipped\": " << skipped << ",\n  \"failed\": " << failed
      << ",\n  \"summaries\": [";
@@ -165,6 +176,10 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
     write_double(os, s.lp_solves_mean);
     os << ", \"lp_iterations_mean\": ";
     write_double(os, s.lp_iterations_mean);
+    os << ", \"lp_dual_solves_mean\": ";
+    write_double(os, s.lp_dual_solves_mean);
+    os << ", \"fixed_vars_mean\": ";
+    write_double(os, s.fixed_vars_mean);
     os << "}";
   }
   os << "\n  ]\n}\n";

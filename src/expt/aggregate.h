@@ -30,6 +30,10 @@ struct AggregateSummary {
   /// so perf PRs can compare simplex work, not just wall clock.
   double lp_solves_mean = 0.0;
   double lp_iterations_mean = 0.0;
+  /// Mean dual-simplex re-optimizations and reduced-cost-fixed variables
+  /// over the ok cells (the PR 5 LP-substrate effort counters).
+  double lp_dual_solves_mean = 0.0;
+  double fixed_vars_mean = 0.0;
   /// Ok cells whose schedule the solver certified optimal. Quality tables
   /// may only cite a bucket as ground truth when proven == ok.
   std::size_t proven = 0;

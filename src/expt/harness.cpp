@@ -49,6 +49,7 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
   context.precision = plan.precision;
   context.time_limit_s = plan.time_limit_s;
   context.lp_algorithm = plan.lp_algorithm;
+  context.lp_pricing = plan.lp_pricing;
   // Cells are the unit of parallelism; solvers must not nest into the pool
   // that is running them (same rule as setsched_cli --all).
   context.pool = nullptr;
@@ -83,6 +84,8 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
     record.setups = total_setups(point.input.instance, result.schedule);
     record.lp_solves = result.stats.lp_solves;
     record.lp_iterations = result.stats.lp_iterations;
+    record.lp_dual_solves = result.stats.lp_dual_solves;
+    record.fixed_vars = result.stats.fixed_vars;
     record.nodes = result.stats.nodes;
     record.lp_bounds_used = result.stats.lp_bounds_used;
     record.proven_optimal = result.stats.proven_optimal;

@@ -9,7 +9,8 @@
 //   setsched_expt --presets=<a,b> (--solvers=<a,b> | --all-solvers)
 //                 [--seeds=N | --seeds=A..B]
 //
-// Options: --epsilon=E --precision=P --time-limit=S --lp=auto|tableau|revised
+// Options: --epsilon=E --precision=P --time-limit=S
+//          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex
 //          --threads=N --no-timing --jsonl=PATH --csv=PATH --bench-json=PATH
 //          --quiet
 // Flags override the corresponding plan-file keys.
@@ -42,7 +43,7 @@ struct ExptOptions {
   std::string bench_json_path;
 
   // Overrides applied on top of a plan file (only when given on the line).
-  std::optional<std::string> presets, solvers, seeds, lp;
+  std::optional<std::string> presets, solvers, seeds, lp, lp_pricing;
   std::optional<double> epsilon, precision, time_limit_s;
   std::optional<std::size_t> threads;
   std::optional<bool> record_timing;
@@ -53,7 +54,8 @@ void print_usage(std::ostream& os) {
      << "       setsched_expt --presets=<a,b> (--solvers=<a,b> | --all-solvers)\n"
      << "                     [--seeds=N | --seeds=A..B]\n"
      << "options: [--epsilon=E] [--precision=P] [--time-limit=S]\n"
-     << "         [--lp=auto|tableau|revised] [--threads=N] [--no-timing]\n"
+     << "         [--lp=auto|tableau|revised|dual]\n"
+     << "         [--lp-pricing=candidate|devex] [--threads=N] [--no-timing]\n"
      << "         [--quiet] [--jsonl=PATH] [--csv=PATH] [--bench-json=PATH]\n"
      << "presets:";
   for (const std::string& preset : preset_names()) os << ' ' << preset;
@@ -97,6 +99,8 @@ std::optional<ExptOptions> parse_args(int argc, char** argv) {
         options.precision = std::stod(value);
       } else if (consume(arg, "--time-limit", &value)) {
         options.time_limit_s = std::stod(value);
+      } else if (consume(arg, "--lp-pricing", &value)) {
+        options.lp_pricing = value;
       } else if (consume(arg, "--lp", &value)) {
         options.lp = value;
       } else if (consume(arg, "--threads", &value)) {
@@ -132,6 +136,9 @@ ExperimentPlan build_plan(const ExptOptions& options) {
   if (options.precision) plan.precision = *options.precision;
   if (options.time_limit_s) plan.time_limit_s = *options.time_limit_s;
   if (options.lp) plan.lp_algorithm = lp_algorithm_from_name(*options.lp);
+  if (options.lp_pricing) {
+    plan.lp_pricing = lp_pricing_from_name(*options.lp_pricing);
+  }
   if (options.threads) plan.threads = *options.threads;
   if (options.record_timing) plan.record_timing = *options.record_timing;
   plan.validate();

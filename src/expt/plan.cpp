@@ -103,6 +103,7 @@ std::string_view lp_algorithm_name(lp::SimplexAlgorithm algorithm) {
     case lp::SimplexAlgorithm::kAuto: return "auto";
     case lp::SimplexAlgorithm::kTableau: return "tableau";
     case lp::SimplexAlgorithm::kRevised: return "revised";
+    case lp::SimplexAlgorithm::kDual: return "dual";
   }
   throw CheckError("unknown SimplexAlgorithm value");
 }
@@ -111,8 +112,24 @@ lp::SimplexAlgorithm lp_algorithm_from_name(std::string_view name) {
   if (name == "auto") return lp::SimplexAlgorithm::kAuto;
   if (name == "tableau") return lp::SimplexAlgorithm::kTableau;
   if (name == "revised") return lp::SimplexAlgorithm::kRevised;
+  if (name == "dual") return lp::SimplexAlgorithm::kDual;
   throw CheckError("unknown lp algorithm '" + std::string(name) +
-                   "' (want auto, tableau, or revised)");
+                   "' (want auto, tableau, revised, or dual)");
+}
+
+std::string_view lp_pricing_name(lp::SimplexPricing pricing) {
+  switch (pricing) {
+    case lp::SimplexPricing::kCandidate: return "candidate";
+    case lp::SimplexPricing::kDevex: return "devex";
+  }
+  throw CheckError("unknown SimplexPricing value");
+}
+
+lp::SimplexPricing lp_pricing_from_name(std::string_view name) {
+  if (name == "candidate") return lp::SimplexPricing::kCandidate;
+  if (name == "devex") return lp::SimplexPricing::kDevex;
+  throw CheckError("unknown lp pricing '" + std::string(name) +
+                   "' (want candidate or devex)");
 }
 
 std::vector<std::string> split_list(std::string_view text) {
@@ -179,6 +196,8 @@ ExperimentPlan parse_plan(std::istream& is) {
       plan.time_limit_s = parse_positive_double(value, "time_limit_s");
     } else if (key == "lp") {
       plan.lp_algorithm = lp_algorithm_from_name(value);
+    } else if (key == "lp_pricing") {
+      plan.lp_pricing = lp_pricing_from_name(value);
     } else if (key == "threads") {
       plan.threads = static_cast<std::size_t>(parse_u64(value, "threads"));
     } else if (key == "timing") {

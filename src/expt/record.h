@@ -23,7 +23,8 @@ enum class RunStatus {
 /// One structured result row of an experiment sweep: the cell key
 /// (solver, preset, seed), the instance shape, the measured outcome, and an
 /// echo of the solver-context knobs so a record is self-describing. Streamed
-/// as JSONL/CSV by record_io.h and consumed by aggregate.h.
+/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 25-key
+/// field-by-field schema is documented in docs/BENCH_SCHEMA.md.
 struct RunRecord {
   std::string solver;
   std::string preset;
@@ -45,6 +46,12 @@ struct RunRecord {
   // so perf PRs can report simplex work, not just wall clock.
   std::size_t lp_solves = 0;
   std::size_t lp_iterations = 0;
+  /// LP solves the dual simplex re-optimized (warm probes after an
+  /// rhs/bound mutation; explicit kDual runs). 0 for primal-only solves.
+  std::size_t lp_dual_solves = 0;
+  /// Job-machine variables excluded by reduced-cost fixing at search nodes
+  /// (exact solvers with LP bounds; 0 elsewhere).
+  std::size_t fixed_vars = 0;
 
   // Search certificate (SolverStats echo). Every record carries these so
   // quality tables can separate proven optima from budget-exhausted

@@ -159,7 +159,7 @@ bool to_bool(std::string_view token, const LineParser& p) {
 RunRecord parse_record_line(std::string_view line) {
   LineParser p{line};
   RunRecord r;
-  // Bitmask of the 23 required keys, in write_jsonl() order.
+  // Bitmask of the 25 required keys, in write_jsonl() order.
   unsigned seen = 0;
   const auto mark = [&](unsigned bit) {
     if (seen & (1u << bit)) p.fail("duplicate key");
@@ -204,30 +204,36 @@ RunRecord parse_record_line(std::string_view line) {
     } else if (key == "lp_iterations") {
       mark(14),
           r.lp_iterations = to_integer<std::size_t>(p.parse_number_token(), p);
-    } else if (key == "nodes") {
-      mark(15), r.nodes = to_integer<std::size_t>(p.parse_number_token(), p);
-    } else if (key == "lp_bounds_used") {
+    } else if (key == "lp_dual_solves") {
+      mark(15),
+          r.lp_dual_solves = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "fixed_vars") {
       mark(16),
+          r.fixed_vars = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "nodes") {
+      mark(17), r.nodes = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "lp_bounds_used") {
+      mark(18),
           r.lp_bounds_used = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "proven_optimal") {
-      mark(17), r.proven_optimal = to_bool(p.parse_number_token(), p);
+      mark(19), r.proven_optimal = to_bool(p.parse_number_token(), p);
     } else if (key == "gap") {
-      mark(18), r.gap = to_double(p.parse_number_token(), p);
+      mark(20), r.gap = to_double(p.parse_number_token(), p);
     } else if (key == "epsilon") {
-      mark(19), r.epsilon = to_double(p.parse_number_token(), p);
+      mark(21), r.epsilon = to_double(p.parse_number_token(), p);
     } else if (key == "precision") {
-      mark(20), r.precision = to_double(p.parse_number_token(), p);
+      mark(22), r.precision = to_double(p.parse_number_token(), p);
     } else if (key == "time_limit_s") {
-      mark(21), r.time_limit_s = to_double(p.parse_number_token(), p);
+      mark(23), r.time_limit_s = to_double(p.parse_number_token(), p);
     } else if (key == "error") {
-      mark(22), r.error = p.parse_string();
+      mark(24), r.error = p.parse_string();
     } else {
       p.fail("unknown key '" + key + "'");
     }
   }
   p.expect('}');
   if (!p.at_end()) p.fail("trailing content");
-  if (seen != (1u << 23) - 1) p.fail("missing keys");
+  if (seen != (1u << 25) - 1) p.fail("missing keys");
   return r;
 }
 
@@ -289,6 +295,8 @@ void write_jsonl(std::ostream& os, const RunRecord& r) {
   write_double(os, r.time_ms);
   os << ",\"lp_solves\":" << r.lp_solves;
   os << ",\"lp_iterations\":" << r.lp_iterations;
+  os << ",\"lp_dual_solves\":" << r.lp_dual_solves;
+  os << ",\"fixed_vars\":" << r.fixed_vars;
   os << ",\"nodes\":" << r.nodes;
   os << ",\"lp_bounds_used\":" << r.lp_bounds_used;
   os << ",\"proven_optimal\":" << (r.proven_optimal ? "true" : "false");
@@ -325,7 +333,8 @@ std::vector<RunRecord> read_jsonl(std::istream& is) {
 
 void write_csv(std::ostream& os, std::span<const RunRecord> records) {
   os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
-        "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,nodes,"
+        "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,"
+        "lp_dual_solves,fixed_vars,nodes,"
         "lp_bounds_used,proven_optimal,gap,epsilon,precision,time_limit_s,"
         "error\n";
   for (const RunRecord& r : records) {
@@ -342,7 +351,8 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
     write_double(os, r.ratio);
     os << ',' << r.setups << ',';
     write_double(os, r.time_ms);
-    os << ',' << r.lp_solves << ',' << r.lp_iterations << ',' << r.nodes
+    os << ',' << r.lp_solves << ',' << r.lp_iterations << ','
+       << r.lp_dual_solves << ',' << r.fixed_vars << ',' << r.nodes
        << ',' << r.lp_bounds_used << ','
        << (r.proven_optimal ? "true" : "false") << ',';
     write_double(os, r.gap);

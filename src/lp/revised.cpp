@@ -1,4 +1,4 @@
-// Sparse revised simplex with warm starting.
+// Sparse revised simplex with warm starting — substrate and primal loop.
 //
 // The problem is held in the standard computational form
 //   min  c^T x   s.t.  A x + s = b,   l <= (x, s) <= u
@@ -13,6 +13,14 @@
 // are no artificial columns, so a warm-started basis that is only slightly
 // infeasible after a re-parameterization (the T-search, column generation)
 // is repaired in a handful of pivots instead of a full cold phase 1.
+//
+// Since PR 5 the solver has a second engine, the bounded-variable dual
+// simplex in dual.cpp: whenever the starting basis is primal-infeasible but
+// dual-feasible — exactly the state of a warm basis after an rhs/bound
+// mutation — run() re-optimizes dually instead of running phase 1 at all.
+// Primal pricing is selectable (SimplexOptions::pricing): candidate-list
+// partial pricing over raw reduced costs, or Devex reference-framework
+// pricing shared with the dual loop via lp/pricing.h.
 
 #include <algorithm>
 #include <cmath>
@@ -21,151 +29,44 @@
 #include <vector>
 
 #include "common/check.h"
+#include "lp/revised_impl.h"
 #include "lp/simplex.h"
 
 namespace setsched::lp {
 
-namespace {
+namespace internal {
 
+namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNone = SIZE_MAX;
+}  // namespace
 
-/// Column-wise sparse (CSC) copy of the structural part of [A | I], gathered
-/// once per solve from the row-wise Model.
-struct SparseColumns {
-  std::vector<std::size_t> start;  ///< nstruct + 1 offsets
-  std::vector<std::size_t> row;
-  std::vector<double> value;
-
-  static SparseColumns gather(const Model& model) {
-    const std::size_t nstruct = model.num_variables();
-    const std::size_t nrows = model.num_constraints();
-    SparseColumns csc;
-    std::vector<std::size_t> count(nstruct, 0);
-    for (std::size_t r = 0; r < nrows; ++r) {
-      for (const Entry& e : model.row(r)) ++count[e.col];
-    }
-    csc.start.assign(nstruct + 1, 0);
-    for (std::size_t j = 0; j < nstruct; ++j) {
-      csc.start[j + 1] = csc.start[j] + count[j];
-    }
-    csc.row.resize(csc.start[nstruct]);
-    csc.value.resize(csc.start[nstruct]);
-    std::vector<std::size_t> cursor(csc.start.begin(), csc.start.end() - 1);
-    for (std::size_t r = 0; r < nrows; ++r) {
-      for (const Entry& e : model.row(r)) {
-        csc.row[cursor[e.col]] = r;
-        csc.value[cursor[e.col]] = e.value;
-        ++cursor[e.col];
-      }
-    }
-    return csc;
+SparseColumns SparseColumns::gather(const Model& model) {
+  const std::size_t nstruct = model.num_variables();
+  const std::size_t nrows = model.num_constraints();
+  SparseColumns csc;
+  std::vector<std::size_t> count(nstruct, 0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (const Entry& e : model.row(r)) ++count[e.col];
   }
-};
-
-/// One product-form update: the basis column at `slot` was replaced by a
-/// column whose FTRAN image was `pivot_value` at `slot` and `entries`
-/// elsewhere.
-struct Eta {
-  std::size_t slot = 0;
-  double pivot_value = 1.0;
-  std::vector<std::pair<std::size_t, double>> entries;  ///< excludes the slot
-};
-
-class RevisedSimplex {
- public:
-  RevisedSimplex(const Model& model, const SimplexOptions& options)
-      : model_(model), opt_(options) {}
-
-  Solution run();
-
- private:
-  // --- setup ---------------------------------------------------------------
-  void build();
-  void init_basis(const Basis* warm);
-  void reset_to_logical_basis();
-
-  // --- factorization -------------------------------------------------------
-  void factorize();             ///< LU of the current basis, with repair
-  bool try_factorize();         ///< one elimination pass; false => repaired
-  void compute_basics();        ///< xb = B^-1 (b - N x_N)
-  void ftran(std::vector<double>& slots);  ///< rows in work_rows_ -> slots
-  void btran(std::vector<double>& slots);  ///< slots -> rows in y_
-
-  // --- iteration -----------------------------------------------------------
-  bool phase_one_costs();       ///< fills cslot_; true iff any infeasibility
-  std::size_t price(bool phase1);
-  std::size_t full_scan(bool phase1, bool bland);
-  [[nodiscard]] double reduced_cost(std::size_t j, bool phase1) const;
-  [[nodiscard]] double bound_value(std::size_t j) const {
-    return state_[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
+  csc.start.assign(nstruct + 1, 0);
+  for (std::size_t j = 0; j < nstruct; ++j) {
+    csc.start[j + 1] = csc.start[j] + count[j];
   }
-
-  [[nodiscard]] Solution extract(SolveStatus status);
-
-  const Model& model_;
-  SimplexOptions opt_;
-
-  std::size_t nrows_ = 0;
-  std::size_t nstruct_ = 0;
-  std::size_t ncols_ = 0;  ///< nstruct_ + nrows_ (structural | logical)
-
-  SparseColumns cols_;
-  std::vector<double> lower_, upper_;  ///< per column, internal form
-  std::vector<double> cost2_;          ///< phase-2 costs (internal minimize)
-  std::vector<double> rhs_;
-  double sign_ = 1.0;  ///< +1 minimize, -1 maximize
-
-  std::vector<VarStatus> state_;     ///< per column
-  std::vector<std::size_t> basis_;   ///< column basic in each slot
-  std::vector<double> xb_;           ///< value of the basic column per slot
-
-  // LU factors of P B Q = L U: columns eliminated in sparsity order Q
-  // (thin columns first keeps the fill an order of magnitude down on the
-  // scheduling LPs, whose bases mix unit logicals, 2-nonzero dominance
-  // columns, and a few dense load columns), rows chosen by partial
-  // pivoting P. Everything below is indexed by elimination step.
-  std::vector<std::vector<std::pair<std::size_t, double>>> lcols_;  // (row, v)
-  std::vector<std::vector<std::pair<std::size_t, double>>> ucols_;  // (step, v)
-  std::vector<double> udiag_;
-  std::vector<std::size_t> rowof_;    ///< elimination step -> pivot row
-  std::vector<std::size_t> posof_;    ///< row -> elimination step
-  std::vector<std::size_t> colperm_;  ///< elimination step -> basis slot
-  std::vector<double> z_;             ///< scratch, elimination space
-  std::vector<Eta> etas_;
-
-  /// One kink of the piecewise-linear phase-1 objective along the entering
-  /// direction (see the ratio test).
-  struct Kink {
-    double t;
-    double slope_drop;  ///< how much the improvement rate loses here
-    std::size_t slot;
-    bool to_upper;
-  };
-
-  // Scratch (members so the per-iteration hot loop never allocates).
-  std::vector<double> work_rows_;  ///< dense over rows, kept zeroed
-  std::vector<double> alpha_;      ///< FTRAN image of the entering column
-  std::vector<double> cslot_;      ///< basic costs per slot
-  std::vector<double> btran_scratch_;
-  std::vector<double> y_;          ///< duals over rows (last BTRAN)
-  std::vector<std::size_t> candidates_;
-  std::vector<Kink> kinks_;
-  std::vector<char> shunned_;  ///< columns with numerically unusable pivots
-  bool any_shunned_ = false;
-
-  double total_infeas_ = 0.0;
-  std::size_t iterations_ = 0;
-  std::size_t max_iterations_ = 0;
-  bool use_bland_ = false;
-  std::size_t stall_count_ = 0;
-
-  [[nodiscard]] double infeas_tol() const {
-    return opt_.feas_tol * std::max<double>(1.0, static_cast<double>(nrows_));
+  csc.row.resize(csc.start[nstruct]);
+  csc.value.resize(csc.start[nstruct]);
+  std::vector<std::size_t> cursor(csc.start.begin(), csc.start.end() - 1);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (const Entry& e : model.row(r)) {
+      csc.row[cursor[e.col]] = r;
+      csc.value[cursor[e.col]] = e.value;
+      ++cursor[e.col];
+    }
   }
-};
+  return csc;
+}
 
-void RevisedSimplex::build() {
+void RevisedSolver::build() {
   nrows_ = model_.num_constraints();
   nstruct_ = model_.num_variables();
   ncols_ = nstruct_ + nrows_;
@@ -206,6 +107,7 @@ void RevisedSimplex::build() {
   alpha_.assign(nrows_, 0.0);
   cslot_.assign(nrows_, 0.0);
   y_.assign(nrows_, 0.0);
+  rho_.assign(nrows_, 0.0);
   shunned_.assign(ncols_, 0);
 
   max_iterations_ = opt_.max_iterations != 0
@@ -213,7 +115,7 @@ void RevisedSimplex::build() {
                         : 400 * (nrows_ + ncols_) + 10000;
 }
 
-void RevisedSimplex::reset_to_logical_basis() {
+void RevisedSolver::reset_to_logical_basis() {
   basis_.resize(nrows_);
   for (std::size_t j = 0; j < ncols_; ++j) {
     state_[j] = std::isfinite(lower_[j]) ? VarStatus::kAtLower
@@ -225,7 +127,7 @@ void RevisedSimplex::reset_to_logical_basis() {
   }
 }
 
-void RevisedSimplex::init_basis(const Basis* warm) {
+void RevisedSolver::init_basis(const Basis* warm) {
   state_.assign(ncols_, VarStatus::kAtLower);
   if (warm == nullptr || warm->empty() ||
       warm->structurals.size() > nstruct_ ||
@@ -278,7 +180,7 @@ void RevisedSimplex::init_basis(const Basis* warm) {
   }
 }
 
-bool RevisedSimplex::try_factorize() {
+bool RevisedSolver::try_factorize() {
   lcols_.assign(nrows_, {});
   ucols_.assign(nrows_, {});
   udiag_.assign(nrows_, 0.0);
@@ -356,6 +258,7 @@ bool RevisedSimplex::try_factorize() {
   // Repair: swap each dependent basis column for the logical of a distinct
   // unclaimed row (those logicals are provably nonbasic only in the common
   // case; when one is not, fall back to the always-valid all-logical basis).
+  factor_repaired_ = true;
   std::vector<std::size_t> free_rows;
   for (std::size_t r = 0; r < nrows_; ++r) {
     if (posof_[r] == kNone && state_[nstruct_ + r] != VarStatus::kBasic) {
@@ -377,14 +280,15 @@ bool RevisedSimplex::try_factorize() {
   return false;
 }
 
-void RevisedSimplex::factorize() {
+void RevisedSolver::factorize() {
+  factor_repaired_ = false;
   for (std::size_t attempt = 0; attempt <= nrows_ + 1; ++attempt) {
     if (try_factorize()) return;
   }
   check(false, "revised simplex: basis repair did not converge");
 }
 
-void RevisedSimplex::ftran(std::vector<double>& slots) {
+void RevisedSolver::ftran(std::vector<double>& slots) {
   // Solve B z = work_rows_ into `slots` (position space); zeroes work_rows_.
   std::vector<double>& w = work_rows_;
   for (std::size_t k = 0; k < nrows_; ++k) {
@@ -413,8 +317,9 @@ void RevisedSimplex::ftran(std::vector<double>& slots) {
   }
 }
 
-void RevisedSimplex::btran(std::vector<double>& slots) {
-  // Solve B^T y = `slots` (costs per slot); the result lands in y_ (rows).
+void RevisedSolver::btran(std::vector<double>& slots,
+                          std::vector<double>& rows_out) {
+  // Solve B^T y = `slots` (costs per slot); the result lands in `rows_out`.
   for (std::size_t i = etas_.size(); i-- > 0;) {
     const Eta& e = etas_[i];
     double acc = slots[e.slot];
@@ -432,10 +337,10 @@ void RevisedSimplex::btran(std::vector<double>& slots) {
     for (const auto& [r, v] : lcols_[k]) sk -= v * z_[posof_[r]];
     z_[k] = sk;
   }
-  for (std::size_t k = 0; k < nrows_; ++k) y_[rowof_[k]] = z_[k];
+  for (std::size_t k = 0; k < nrows_; ++k) rows_out[rowof_[k]] = z_[k];
 }
 
-void RevisedSimplex::compute_basics() {
+void RevisedSolver::compute_basics() {
   std::vector<double>& w = work_rows_;
   for (std::size_t r = 0; r < nrows_; ++r) w[r] = rhs_[r];
   // Nonbasic logicals always sit at 0, so only structural columns contribute.
@@ -451,7 +356,7 @@ void RevisedSimplex::compute_basics() {
   ftran(xb_);
 }
 
-bool RevisedSimplex::phase_one_costs() {
+bool RevisedSolver::phase_one_costs() {
   total_infeas_ = 0.0;
   bool any = false;
   for (std::size_t k = 0; k < nrows_; ++k) {
@@ -475,7 +380,7 @@ bool RevisedSimplex::phase_one_costs() {
   return any;
 }
 
-double RevisedSimplex::reduced_cost(std::size_t j, bool phase1) const {
+double RevisedSolver::reduced_cost(std::size_t j, bool phase1) const {
   double d = phase1 ? 0.0 : cost2_[j];
   if (j < nstruct_) {
     for (std::size_t t = cols_.start[j]; t < cols_.start[j + 1]; ++t) {
@@ -487,7 +392,7 @@ double RevisedSimplex::reduced_cost(std::size_t j, bool phase1) const {
   return d;
 }
 
-std::size_t RevisedSimplex::full_scan(bool phase1, bool bland) {
+std::size_t RevisedSolver::full_scan(bool phase1, bool bland) {
   candidates_.clear();
   const std::size_t list_size =
       std::max<std::size_t>(16, ncols_ / 8);
@@ -524,8 +429,40 @@ std::size_t RevisedSimplex::full_scan(bool phase1, bool bland) {
   return best;
 }
 
-std::size_t RevisedSimplex::price(bool phase1) {
+std::size_t RevisedSolver::price_devex(bool phase1) {
+  // Full Devex pricing pass: maximize d_j^2 / w_j over the eligible nonbasic
+  // columns. Weights live in the reference framework established at the
+  // last reset; an overflow re-anchors it.
+  if (devex_cols_.size() != ncols_ || devex_cols_.overflowed()) {
+    devex_cols_.reset(ncols_);
+  }
+  std::size_t best = kNone;
+  double best_score = 0.0;
+  for (std::size_t j = 0; j < ncols_; ++j) {
+    if (state_[j] == VarStatus::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;  // fixed
+    if (shunned_[j]) continue;
+    const double d = reduced_cost(j, phase1);
+    double violation = 0.0;
+    if (state_[j] == VarStatus::kAtLower && d < -opt_.opt_tol) {
+      violation = -d;
+    } else if (state_[j] == VarStatus::kAtUpper && d > opt_.opt_tol) {
+      violation = d;
+    } else {
+      continue;
+    }
+    const double score = devex_cols_.score(j, violation);
+    if (best == kNone || score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::size_t RevisedSolver::price(bool phase1) {
   if (use_bland_) return full_scan(phase1, /*bland=*/true);
+  if (opt_.pricing == SimplexPricing::kDevex) return price_devex(phase1);
   // Minor pass over the candidate list with fresh reduced costs; fall back
   // to a full pricing scan (which also refreshes the list) when it runs dry.
   std::size_t best = kNone;
@@ -553,10 +490,40 @@ std::size_t RevisedSimplex::price(bool phase1) {
   return full_scan(phase1, /*bland=*/false);
 }
 
-Solution RevisedSimplex::extract(SolveStatus status) {
+void RevisedSolver::devex_primal_update(std::size_t enter,
+                                        std::size_t leave_slot) {
+  // Pivot row via BTRAN: rho = B^-T e_{leave_slot}; the ratio of each
+  // nonbasic column against the pivot element drives the Devex update. Runs
+  // BEFORE the eta for this pivot is pushed, so rho is the pre-pivot row.
+  const double pivot = alpha_[leave_slot];
+  if (pivot == 0.0) return;
+  std::fill(btran_scratch_.begin(), btran_scratch_.end(), 0.0);
+  btran_scratch_[leave_slot] = 1.0;
+  btran(btran_scratch_, rho_);
+
+  const double w_enter = devex_cols_.weight(enter);
+  for (std::size_t j = 0; j < ncols_; ++j) {
+    if (state_[j] == VarStatus::kBasic || j == enter) continue;
+    if (lower_[j] == upper_[j]) continue;
+    double a = 0.0;
+    if (j < nstruct_) {
+      for (std::size_t t = cols_.start[j]; t < cols_.start[j + 1]; ++t) {
+        a += cols_.value[t] * rho_[cols_.row[t]];
+      }
+    } else {
+      a = rho_[j - nstruct_];
+    }
+    if (a != 0.0) devex_cols_.update_neighbor(j, a / pivot, w_enter);
+  }
+  // The leaving variable becomes nonbasic and inherits the pivot weight.
+  devex_cols_.update_pivot(basis_[leave_slot], w_enter, pivot);
+}
+
+Solution RevisedSolver::extract(SolveStatus status) {
   Solution sol;
   sol.status = status;
   sol.iterations = iterations_;
+  sol.via_dual = via_dual_;
 
   // The basis snapshot is useful even for infeasible probes (the T-search
   // warm-starts the next probe from it), so fill it for every terminal
@@ -592,12 +559,7 @@ Solution RevisedSimplex::extract(SolveStatus status) {
   return sol;
 }
 
-Solution RevisedSimplex::run() {
-  build();
-  init_basis(opt_.warm_start);
-  factorize();
-  compute_basics();
-
+Solution RevisedSolver::run_primal() {
   while (true) {
     if (iterations_ >= max_iterations_) {
       return extract(SolveStatus::kIterationLimit);
@@ -605,7 +567,7 @@ Solution RevisedSimplex::run() {
 
     const bool phase1 = phase_one_costs();
     btran_scratch_ = cslot_;
-    btran(btran_scratch_);
+    btran(btran_scratch_, y_);
 
     const std::size_t enter = price(phase1);
     if (enter == kNone) {
@@ -775,6 +737,12 @@ Solution RevisedSimplex::run() {
       continue;
     }
 
+    // Devex weight maintenance needs the pre-pivot row; run it before the
+    // eta for this pivot lands.
+    if (opt_.pricing == SimplexPricing::kDevex && !use_bland_) {
+      devex_primal_update(enter, leave_slot);
+    }
+
     // Basis change.
     const std::size_t leaving = basis_[leave_slot];
     state_[leaving] =
@@ -806,13 +774,61 @@ Solution RevisedSimplex::run() {
   }
 }
 
-}  // namespace
+Solution RevisedSolver::run() {
+  build();
+  init_basis(opt_.warm_start);
+  factorize();
+  compute_basics();
+  // (Devex column weights are lazily initialized by price_devex; candidate
+  // pricing never touches them.)
+
+  // Dual prologue: a warm basis that turned primal-infeasible under a
+  // re-parameterization but kept dual feasibility (rhs/bound mutations never
+  // disturb reduced costs) is re-optimized by the dual simplex instead of
+  // being repaired by phase 1. kDual makes the dual loop the engine of
+  // choice for every dual-feasible start (the min-makespan relaxations of
+  // src/exact start dual-feasible from ANY basis: all costs are >= 0).
+  // Explicit kRevised opts OUT: it stays the primal-only PR 3 path, which
+  // before/after sweeps (--lp=revised) use as the pre-dual baseline.
+  const bool prefer_dual =
+      opt_.algorithm == SimplexAlgorithm::kDual ||
+      (opt_.algorithm == SimplexAlgorithm::kAuto &&
+       opt_.warm_start != nullptr && !opt_.warm_start->empty());
+  if (prefer_dual) {
+    bool primal_infeasible = false;
+    for (std::size_t k = 0; k < nrows_ && !primal_infeasible; ++k) {
+      const std::size_t b = basis_[k];
+      primal_infeasible = xb_[k] < lower_[b] - opt_.feas_tol ||
+                          xb_[k] > upper_[b] + opt_.feas_tol;
+    }
+    const bool worth_it =
+        primal_infeasible || opt_.algorithm == SimplexAlgorithm::kDual;
+    if (worth_it && dual_feasible(std::max(opt_.opt_tol * 100, 1e-7))) {
+      switch (run_dual()) {
+        case DualOutcome::kOptimal:
+          via_dual_ = true;
+          break;  // the primal loop below confirms and extracts
+        case DualOutcome::kInfeasible:
+          via_dual_ = true;
+          return extract(SolveStatus::kInfeasible);
+        case DualOutcome::kIterationLimit:
+          return extract(SolveStatus::kIterationLimit);
+        case DualOutcome::kFallback:
+          break;  // numerics bailed out: the primal loop takes over
+      }
+    }
+  }
+
+  return run_primal();
+}
+
+}  // namespace internal
 
 Solution solve_revised(const Model& model, const SimplexOptions& options) {
   check(model.num_constraints() > 0, "LP needs at least one constraint");
   check(model.num_variables() > 0, "LP needs at least one variable");
-  RevisedSimplex simplex(model, options);
-  return simplex.run();
+  internal::RevisedSolver solver(model, options);
+  return solver.run();
 }
 
 }  // namespace setsched::lp

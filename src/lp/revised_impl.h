@@ -1,0 +1,167 @@
+#pragma once
+
+// Internal declaration of the sparse revised simplex, shared by its two
+// translation units: revised.cpp (substrate — CSC gather, LU factorization,
+// FTRAN/BTRAN, warm-start basis adoption — plus the composite primal
+// phase 1/2 loop) and dual.cpp (the bounded-variable dual simplex that
+// re-optimizes warm bases which are primal-infeasible but dual-feasible).
+// Not part of the public API; include lp/simplex.h instead.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "lp/pricing.h"
+#include "lp/simplex.h"
+
+namespace setsched::lp::internal {
+
+/// Column-wise sparse (CSC) copy of the structural part of [A | I], gathered
+/// once per solve from the row-wise Model.
+struct SparseColumns {
+  std::vector<std::size_t> start;  ///< nstruct + 1 offsets
+  std::vector<std::size_t> row;
+  std::vector<double> value;
+
+  static SparseColumns gather(const Model& model);
+};
+
+/// One product-form update: the basis column at `slot` was replaced by a
+/// column whose FTRAN image was `pivot_value` at `slot` and `entries`
+/// elsewhere.
+struct Eta {
+  std::size_t slot = 0;
+  double pivot_value = 1.0;
+  std::vector<std::pair<std::size_t, double>> entries;  ///< excludes the slot
+};
+
+class RevisedSolver {
+ public:
+  RevisedSolver(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {}
+
+  Solution run();
+
+ private:
+  // --- setup (revised.cpp) -------------------------------------------------
+  void build();
+  void init_basis(const Basis* warm);
+  void reset_to_logical_basis();
+
+  // --- factorization (revised.cpp) -----------------------------------------
+  void factorize();             ///< LU of the current basis, with repair
+  bool try_factorize();         ///< one elimination pass; false => repaired
+  void compute_basics();        ///< xb = B^-1 (b - N x_N)
+  void ftran(std::vector<double>& slots);  ///< rows in work_rows_ -> slots
+  /// Solves B^T y = `slots` (costs per slot) into `rows_out` (row space).
+  void btran(std::vector<double>& slots, std::vector<double>& rows_out);
+
+  // --- primal iteration (revised.cpp) --------------------------------------
+  /// The composite primal loop (phase 1 = minimize total infeasibility,
+  /// phase 2 = the model objective). Entered after an optional dual
+  /// prologue; returns the final Solution.
+  Solution run_primal();
+  bool phase_one_costs();       ///< fills cslot_; true iff any infeasibility
+  std::size_t price(bool phase1);
+  std::size_t price_devex(bool phase1);
+  std::size_t full_scan(bool phase1, bool bland);
+  /// Devex reference-framework update for the primal pricing weights after
+  /// the basis change (enter, leave_slot); reads the pivot row via BTRAN.
+  void devex_primal_update(std::size_t enter, std::size_t leave_slot);
+  [[nodiscard]] double reduced_cost(std::size_t j, bool phase1) const;
+  [[nodiscard]] double bound_value(std::size_t j) const {
+    return state_[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
+  }
+
+  // --- dual simplex (dual.cpp) ---------------------------------------------
+  enum class DualOutcome {
+    kOptimal,         ///< primal feasibility restored; duals stayed feasible
+    kInfeasible,      ///< dual unbounded: the primal is infeasible
+    kFallback,        ///< numerics forced a bail-out; run the primal loop
+    kIterationLimit,
+  };
+  /// True iff every nonbasic column's phase-2 reduced cost respects its
+  /// bound status within `tol` (fixed columns are exempt). Refreshes y_.
+  [[nodiscard]] bool dual_feasible(double tol);
+  /// The bounded-variable dual simplex with Devex row pricing. Assumes a
+  /// factorized basis with xb_ computed and the duals of the current basis
+  /// already in y_ (run() establishes both via dual_feasible()); maintains
+  /// dual feasibility while driving out primal infeasibilities.
+  DualOutcome run_dual();
+
+  [[nodiscard]] Solution extract(SolveStatus status);
+
+  const Model& model_;
+  SimplexOptions opt_;
+
+  std::size_t nrows_ = 0;
+  std::size_t nstruct_ = 0;
+  std::size_t ncols_ = 0;  ///< nstruct_ + nrows_ (structural | logical)
+
+  SparseColumns cols_;
+  std::vector<double> lower_, upper_;  ///< per column, internal form
+  std::vector<double> cost2_;          ///< phase-2 costs (internal minimize)
+  std::vector<double> rhs_;
+  double sign_ = 1.0;  ///< +1 minimize, -1 maximize
+
+  std::vector<VarStatus> state_;     ///< per column
+  std::vector<std::size_t> basis_;   ///< column basic in each slot
+  std::vector<double> xb_;           ///< value of the basic column per slot
+
+  // LU factors of P B Q = L U: columns eliminated in sparsity order Q
+  // (thin columns first keeps the fill an order of magnitude down on the
+  // scheduling LPs, whose bases mix unit logicals, 2-nonzero dominance
+  // columns, and a few dense load columns), rows chosen by partial
+  // pivoting P. Everything below is indexed by elimination step.
+  std::vector<std::vector<std::pair<std::size_t, double>>> lcols_;  // (row, v)
+  std::vector<std::vector<std::pair<std::size_t, double>>> ucols_;  // (step, v)
+  std::vector<double> udiag_;
+  std::vector<std::size_t> rowof_;    ///< elimination step -> pivot row
+  std::vector<std::size_t> posof_;    ///< row -> elimination step
+  std::vector<std::size_t> colperm_;  ///< elimination step -> basis slot
+  std::vector<double> z_;             ///< scratch, elimination space
+  std::vector<Eta> etas_;
+
+  /// One kink of the piecewise-linear phase-1 objective along the entering
+  /// direction (see the primal ratio test).
+  struct Kink {
+    double t;
+    double slope_drop;  ///< how much the improvement rate loses here
+    std::size_t slot;
+    bool to_upper;
+  };
+
+  // Scratch (members so the per-iteration hot loop never allocates).
+  std::vector<double> work_rows_;  ///< dense over rows, kept zeroed
+  std::vector<double> alpha_;      ///< FTRAN image of the entering column
+  std::vector<double> cslot_;      ///< basic costs per slot
+  std::vector<double> btran_scratch_;
+  std::vector<double> y_;          ///< duals over rows (last BTRAN)
+  std::vector<double> rho_;        ///< B^-T e_r (pivot-row BTRAN image)
+  std::vector<std::size_t> candidates_;
+  std::vector<Kink> kinks_;
+  std::vector<char> shunned_;  ///< columns with numerically unusable pivots
+  bool any_shunned_ = false;
+
+  // Devex reference frameworks: columns for primal pricing, slots (rows) for
+  // the dual simplex's leaving-row selection.
+  DevexWeights devex_cols_;
+  DevexWeights devex_rows_;
+
+  double total_infeas_ = 0.0;
+  std::size_t iterations_ = 0;
+  std::size_t max_iterations_ = 0;
+  bool use_bland_ = false;
+  std::size_t stall_count_ = 0;
+  /// True when the last factorize() had to repair a singular basis (the
+  /// basis changed outside a pivot, invalidating dual-loop invariants).
+  bool factor_repaired_ = false;
+  /// True once the dual simplex performed this solve (Solution::via_dual).
+  bool via_dual_ = false;
+
+  [[nodiscard]] double infeas_tol() const {
+    return opt_.feas_tol * std::max<double>(1.0, static_cast<double>(nrows_));
+  }
+};
+
+}  // namespace setsched::lp::internal

@@ -466,12 +466,17 @@ Solution solve(const Model& model, const SimplexOptions& options) {
     case SimplexAlgorithm::kTableau:
       return solve_tableau(model, options);
     case SimplexAlgorithm::kRevised:
+    case SimplexAlgorithm::kDual:
+      // Both are the sparse revised solver; kDual additionally prefers the
+      // dual loop for every dual-feasible start (solve_revised reads
+      // options.algorithm).
       return solve_revised(model, options);
     case SimplexAlgorithm::kAuto:
       break;
   }
   // Audit mode instruments the dense tableau (the reference oracle); every
-  // other automatic solve takes the sparse revised path.
+  // other automatic solve takes the sparse revised path (which re-optimizes
+  // warm primal-infeasible/dual-feasible bases with the dual simplex).
   if (options.audit) return solve_tableau(model, options);
   return solve_revised(model, options);
 }

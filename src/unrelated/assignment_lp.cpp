@@ -25,11 +25,16 @@ ParametricAssignmentLp::ParametricAssignmentLp(
       xv_(instance.num_machines(), instance.num_jobs(), kNoVar),
       yv_(instance.num_machines(), instance.num_classes(), kNoVar),
       packing_row_(instance.num_machines(), instance.num_classes(), kNoVar),
-      pinned_(instance.num_jobs(), kUnassigned) {
+      pinned_(instance.num_jobs(), kUnassigned),
+      fixed_zero_(instance.num_machines(), instance.num_jobs(), 0) {
+  check(!(options.makespan_objective && options.strengthen),
+        "makespan objective is incompatible with strengthening (the packing "
+        "coefficients contain T)");
   const std::size_t n = instance.num_jobs();
   const std::size_t m = instance.num_machines();
   const std::size_t kc = instance.num_classes();
   const double T = T_build;
+  const bool min_T = options.makespan_objective;
 
   // x variables for pairs allowed by (5) (and (9) when strengthening) at the
   // loosest guess T_build; tighter probes shrink the set via upper bounds.
@@ -44,15 +49,17 @@ ParametricAssignmentLp::ParametricAssignmentLp(
       xv_(i, j) = model_.add_variable(0.0, 1.0, 0.0);
     }
   }
-  // y variables; objective = minimize total fractional setups.
+  // y variables; objective = minimize total fractional setups (or nothing in
+  // makespan mode, where the explicit T_var column is the whole objective).
   const auto by_class = instance.jobs_by_class();
   for (MachineId i = 0; i < m; ++i) {
     for (ClassId k = 0; k < kc; ++k) {
       if (instance.setup(i, k) >= kInfinity) continue;
       if (options.strengthen && instance.setup(i, k) > T) continue;  // (10)
-      yv_(i, k) = model_.add_variable(0.0, 1.0, 1.0);
+      yv_(i, k) = model_.add_variable(0.0, 1.0, min_T ? 0.0 : 1.0);
     }
   }
+  if (min_T) tvar_ = model_.add_variable(0.0, kInfinity, 1.0);
 
   // (2): every job fully assigned.
   for (JobId j = 0; j < n; ++j) {
@@ -67,7 +74,9 @@ ParametricAssignmentLp::ParametricAssignmentLp(
     model_.add_constraint(std::move(row), lp::Sense::kEqual, 1.0);
   }
 
-  // (1): machine load, rhs = T (re-parameterized per probe).
+  // (1): machine load, rhs = T (re-parameterized per probe). In makespan
+  // mode the load is charged against the T_var column instead: load_i -
+  // T_var <= 0, rhs fixed at 0, min T_var the objective.
   load_row_.assign(m, kNoVar);
   for (MachineId i = 0; i < m; ++i) {
     std::vector<lp::Entry> row;
@@ -78,8 +87,10 @@ ParametricAssignmentLp::ParametricAssignmentLp(
       if (yv_(i, k) != kNoVar) row.push_back({yv_(i, k), instance.setup(i, k)});
     }
     if (!row.empty()) {
+      if (min_T) row.push_back({tvar_, -1.0});
       load_row_[i] = model_.add_constraint(std::move(row),
-                                           lp::Sense::kLessEqual, T);
+                                           lp::Sense::kLessEqual,
+                                           min_T ? 0.0 : T);
     }
   }
 
@@ -129,14 +140,17 @@ void ParametricAssignmentLp::reparameterize(double T) {
       if (v == kNoVar) continue;
       if (pinned_[j] != kUnassigned) {
         // Pinned jobs override the T filters: x is fixed to the pin. A pin
-        // whose processing time exceeds T is caught by the load row (forced
-        // activity > rhs), so the probe still reads infeasible.
+        // whose processing time exceeds T still reads as "does not fit
+        // under T": in setup-mass mode the load row's forced activity
+        // exceeds its rhs (infeasible), in makespan mode T_var absorbs the
+        // load and min_makespan() returns a value > T that feasible()
+        // rejects against its threshold.
         model_.set_bounds(v, pinned_[j] == i ? 1.0 : 0.0,
                           pinned_[j] == i ? 1.0 : 0.0);
         continue;
       }
       const bool allowed =
-          inst.proc(i, j) <= T &&
+          fixed_zero_(i, j) == 0 && inst.proc(i, j) <= T &&
           (!options_.strengthen ||
            inst.proc(i, j) + inst.setup_for_job(i, j) <= T);
       model_.set_bounds(v, 0.0, allowed ? 1.0 : 0.0);
@@ -150,7 +164,10 @@ void ParametricAssignmentLp::reparameterize(double T) {
         model_.update_entry(packing_row_(i, k), v, inst.setup(i, k) - T);
       }
     }
-    if (load_row_[i] != kNoVar) model_.set_rhs(load_row_[i], T);
+    // Makespan mode keeps the load rhs at 0 (T lives in the T_var column).
+    if (!options_.makespan_objective && load_row_[i] != kNoVar) {
+      model_.set_rhs(load_row_[i], T);
+    }
   }
 }
 
@@ -170,6 +187,7 @@ void ParametricAssignmentLp::unpin_job(JobId j) {
 lp::Solution ParametricAssignmentLp::run_solve(double T) {
   ++lp_solves_;
   last_iterations_ = 0;
+  last_via_dual_ = false;
   lp::Solution sol;
   sol.status = lp::SolveStatus::kInfeasible;
   if (structurally_infeasible_ || impossible_pins_ > 0) return sol;
@@ -182,15 +200,92 @@ lp::Solution ParametricAssignmentLp::run_solve(double T) {
   sol = lp::solve(model_, simplex);
   iterations_ += sol.iterations;
   last_iterations_ = sol.iterations;
-  // Only optimal bases join the warm-start chain: the end basis of an
-  // infeasible probe is a phase-1 artifact (heavily degenerate, pinned
-  // against the violated rows) and measurably poisons the next probe,
-  // costing more iterations than a cold start.
-  if (sol.optimal() && !sol.basis.empty()) basis_ = sol.basis;
+  last_via_dual_ = sol.via_dual;
+  if (sol.via_dual) ++dual_solves_;
+  // Optimal bases always join the warm-start chain. An infeasible probe's
+  // basis joins only when the dual simplex produced it: a dual-terminal
+  // basis is still dual-feasible and re-optimizes the next probe in a few
+  // pivots, whereas a primal phase-1 end basis is a degenerate artifact
+  // (pinned against the violated rows) that measurably poisons the chain.
+  if (!sol.basis.empty() && (sol.optimal() || sol.via_dual)) {
+    basis_ = sol.basis;
+  }
   return sol;
 }
 
+std::optional<double> ParametricAssignmentLp::min_makespan(double T_filter) {
+  check(options_.makespan_objective,
+        "min_makespan needs AssignmentLpOptions::makespan_objective");
+  lp::Solution sol = run_solve(T_filter);
+  if (sol.status == lp::SolveStatus::kInfeasible) return std::nullopt;
+  check(sol.optimal(), "makespan LP solve failed (not optimal/infeasible)");
+  const double value = sol.objective;
+  last_solution_ = std::move(sol);
+  return value;
+}
+
+std::size_t ParametricAssignmentLp::fix_dominated(
+    double cutoff, std::vector<std::pair<JobId, MachineId>>* out) {
+  check(options_.makespan_objective,
+        "fix_dominated needs AssignmentLpOptions::makespan_objective");
+  if (!last_solution_.optimal()) return 0;
+  const double value = last_solution_.objective;
+  const double margin = 1e-7 * std::max(1.0, std::abs(cutoff));
+  if (value >= cutoff) return 0;  // the whole node prunes anyway
+
+  // Reduced costs d_j = c_j - y^T A_j in one sweep over the rows (the model
+  // is a minimization, so a nonbasic-at-lower column satisfies d_j >= 0 and
+  // the sensitivity bound obj(x_j >= t) >= value + d_j * t). The scratch
+  // buffer is a member: this runs on every LP-probed branch-and-bound node.
+  std::vector<double>& reduced = reduced_scratch_;
+  reduced.assign(model_.num_variables(), 0.0);
+  for (std::size_t v = 0; v < model_.num_variables(); ++v) {
+    reduced[v] = model_.objective(v);
+  }
+  for (std::size_t r = 0; r < model_.num_constraints(); ++r) {
+    const double y = last_solution_.duals[r];
+    if (y == 0.0) continue;
+    for (const lp::Entry& e : model_.row(r)) reduced[e.col] -= y * e.value;
+  }
+
+  const Instance& inst = *instance_;
+  std::size_t fixed = 0;
+  for (MachineId i = 0; i < inst.num_machines(); ++i) {
+    for (JobId j = 0; j < inst.num_jobs(); ++j) {
+      const std::size_t v = xv_(i, j);
+      if (v == kNoVar || fixed_zero_(i, j) != 0) continue;
+      if (pinned_[j] != kUnassigned) continue;
+      // Only nonbasic-at-lower columns carry the sensitivity bound; a basic
+      // or at-upper column has d <= 0 and never passes the threshold, but
+      // exclude columns sitting away from 0 explicitly for clarity.
+      if (last_solution_.x[v] > 1e-9) continue;
+      if (value + reduced[v] >= cutoff + margin) {
+        fixed_zero_(i, j) = 1;
+        out->push_back({j, i});
+        ++fixed;
+      }
+    }
+  }
+  return fixed;
+}
+
+void ParametricAssignmentLp::unfix(
+    std::vector<std::pair<JobId, MachineId>>* out, std::size_t from) {
+  while (out->size() > from) {
+    const auto [j, i] = out->back();
+    out->pop_back();
+    fixed_zero_(i, j) = 0;
+  }
+}
+
 bool ParametricAssignmentLp::feasible(double T) {
+  if (options_.makespan_objective) {
+    // The makespan-mode LP is feasible for (almost) every T — T_var absorbs
+    // any load — so feasibility at T means "the minimum fractional makespan
+    // fits under T".
+    const std::optional<double> value = min_makespan(T);
+    return value.has_value() && *value <= T * (1.0 + 1e-9) + 1e-9;
+  }
   const lp::Solution sol = run_solve(T);
   if (sol.status == lp::SolveStatus::kInfeasible) return false;
   check(sol.optimal(), "assignment LP probe failed (not optimal/infeasible)");
@@ -282,6 +377,7 @@ LpSearchResult search_assignment_lp(const Instance& instance, double precision,
     out.lower_bound = lower_bound;
     out.fractional = std::move(fractional);
     out.lp_solves = lp.lp_solves();
+    out.lp_dual_solves = lp.dual_solves();
     out.simplex_iterations = lp.simplex_iterations();
     return std::move(out);
   };

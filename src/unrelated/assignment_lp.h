@@ -1,6 +1,8 @@
 #pragma once
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/matrix.h"
 #include "core/instance.h"
@@ -26,6 +28,15 @@ struct AssignmentLpOptions {
   /// for every instance and strengthen the relaxation; the paper's plain
   /// ILP-UM omits them, so the default is off.
   bool strengthen = false;
+  /// Replace the setup-mass objective with an explicit makespan variable:
+  /// minimize T_var subject to load_i - T_var <= 0 per machine, with the
+  /// T-dependent eligibility filters still applied as variable bounds. The
+  /// LP optimum is then the fractional makespan itself — a certified lower
+  /// bound the exact branch-and-bound prunes and reduced-cost-fixes against
+  /// (min_makespan() / fix_dominated()). Every cost is >= 0, so any basis is
+  /// dual-feasible and the dual simplex solves these end to end.
+  /// Incompatible with `strengthen` (the packing coefficients contain T).
+  bool makespan_objective = false;
   lp::SimplexOptions simplex = {};
 };
 
@@ -66,8 +77,38 @@ class ParametricAssignmentLp {
   /// Removes the pin on job j (no-op when j is not pinned).
   void unpin_job(JobId j);
 
+  // --- makespan-objective mode (options.makespan_objective) ---------------
+
+  /// Minimum fractional makespan of the completions respecting the current
+  /// pins and fixes, with the eligibility filters applied at T_filter.
+  /// std::nullopt iff no completion exists at all (impossible pins). Valid
+  /// for bounding integral completions of makespan <= T_filter.
+  [[nodiscard]] std::optional<double> min_makespan(double T_filter);
+
+  /// Reduced-cost fixing against the last min_makespan() solve: every free
+  /// pair (j, i) whose LP reduced cost certifies that any completion placing
+  /// j on i has makespan >= cutoff is fixed to x_ij = 0 (appended to *out
+  /// for later unfixing). Returns the number of pairs fixed. Sound because
+  /// the bounded-simplex sensitivity bound obj(x_ij = 1) >= value + d_ij
+  /// holds for nonbasic-at-lower columns.
+  std::size_t fix_dominated(double cutoff,
+                            std::vector<std::pair<JobId, MachineId>>* out);
+
+  /// Clears fixes out[from..] and shrinks *out back to `from` (the undo of
+  /// the fix_dominated calls made since *out had size `from`).
+  void unfix(std::vector<std::pair<JobId, MachineId>>* out, std::size_t from);
+
+  /// True iff the pair is currently reduced-cost-fixed to 0.
+  [[nodiscard]] bool pair_fixed(JobId j, MachineId i) const {
+    return fixed_zero_(i, j) != 0;
+  }
+
   /// Number of solve() calls so far.
   [[nodiscard]] std::size_t lp_solves() const noexcept { return lp_solves_; }
+  /// Solves the dual simplex performed (warm dual re-optimizations).
+  [[nodiscard]] std::size_t dual_solves() const noexcept {
+    return dual_solves_;
+  }
   /// Total simplex iterations across all solves.
   [[nodiscard]] std::size_t simplex_iterations() const noexcept {
     return iterations_;
@@ -76,6 +117,8 @@ class ParametricAssignmentLp {
   [[nodiscard]] std::size_t last_iterations() const noexcept {
     return last_iterations_;
   }
+  /// True iff the most recent solve went through the dual simplex.
+  [[nodiscard]] bool last_via_dual() const noexcept { return last_via_dual_; }
 
  private:
   void reparameterize(double T);
@@ -93,16 +136,25 @@ class ParametricAssignmentLp {
   lp::Model model_;
   Matrix<std::size_t> xv_;              ///< m x n variable ids (SIZE_MAX = none)
   Matrix<std::size_t> yv_;              ///< m x K variable ids
+  std::size_t tvar_ = SIZE_MAX;         ///< makespan column (makespan mode)
   std::vector<std::size_t> load_row_;   ///< per machine (SIZE_MAX = none)
   Matrix<std::size_t> packing_row_;     ///< m x K strengthened rows (8)
   std::vector<MachineId> pinned_;       ///< per job; kUnassigned = free
+  Matrix<char> fixed_zero_;             ///< m x n reduced-cost-fixed pairs
   /// Pins pointing at variables absent from the model (filtered at T_build):
   /// every probe is infeasible while > 0.
   std::size_t impossible_pins_ = 0;
   lp::Basis basis_;                     ///< warm-start chain across probes
+  /// Last optimal solution (makespan mode only; fix_dominated reads its
+  /// duals and objective).
+  lp::Solution last_solution_;
+  /// Reduced-cost scratch for fix_dominated (hot on B&B node probes).
+  std::vector<double> reduced_scratch_;
   std::size_t lp_solves_ = 0;
+  std::size_t dual_solves_ = 0;
   std::size_t iterations_ = 0;
   std::size_t last_iterations_ = 0;
+  bool last_via_dual_ = false;
 };
 
 /// Solves the relaxation of ILP-UM for makespan guess T. Among feasible
@@ -131,6 +183,9 @@ struct LpSearchResult {
   double lower_bound = 0.0;   ///< lo: OPT is >= this
   FractionalAssignment fractional;
   std::size_t lp_solves = 0;
+  /// Probes re-optimized by the dual simplex (warm basis turned
+  /// primal-infeasible by the T mutation but stayed dual-feasible).
+  std::size_t lp_dual_solves = 0;
   std::size_t simplex_iterations = 0;  ///< summed over all probes
 };
 [[nodiscard]] LpSearchResult search_assignment_lp(

@@ -82,6 +82,7 @@ RoundingResult randomized_rounding(const Instance& instance,
   out.lp_lower_bound = lp.lower_bound;
   out.rounds = rounds;
   out.lp_solves = lp.lp_solves;
+  out.lp_dual_solves = lp.lp_dual_solves;
   out.lp_iterations = lp.simplex_iterations;
 
   Xoshiro256 seeder(options.seed);
@@ -134,8 +135,11 @@ ScheduleResult argmax_rounding(const Instance& instance,
       }
     }
   }
-  return {schedule, makespan(instance, schedule),
-          {lp.lp_solves, lp.simplex_iterations}};
+  SolverStats stats;
+  stats.lp_solves = lp.lp_solves;
+  stats.lp_iterations = lp.simplex_iterations;
+  stats.lp_dual_solves = lp.lp_dual_solves;
+  return {schedule, makespan(instance, schedule), stats};
 }
 
 }  // namespace setsched

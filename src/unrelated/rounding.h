@@ -36,6 +36,9 @@ struct RoundingResult {
   std::size_t fallback_jobs = 0;
   std::size_t rounds = 0;
   std::size_t lp_solves = 0;
+  /// T-search probes the dual simplex re-optimized (0 on the colgen path,
+  /// whose RMP grows columns instead of mutating bounds).
+  std::size_t lp_dual_solves = 0;
   /// Total simplex iterations across every LP solve of the T-search (direct
   /// path) or every RMP solve of every config-LP probe (colgen path).
   std::size_t lp_iterations = 0;

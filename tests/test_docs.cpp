@@ -1,0 +1,134 @@
+// Docs-vs-code consistency: the tables in docs/SOLVERS.md must list exactly
+// the registered solvers and presets, and docs/BENCH_SCHEMA.md must document
+// every key the JSONL writer emits. These tests are what keeps the docs/
+// subsystem from rotting: adding a solver, a preset, or a RunRecord field
+// without updating the page is a test failure, not a silent drift.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/presets.h"
+#include "api/registry.h"
+#include "expt/record_io.h"
+
+namespace setsched {
+namespace {
+
+std::string read_doc(const std::string& name) {
+  const std::string path = std::string(SETSCHED_SOURCE_DIR) + "/docs/" + name;
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+/// Extracts the section of `text` between the heading line `## <title>` and
+/// the next `## ` heading (or end of file).
+std::string section(const std::string& text, const std::string& title) {
+  const std::string heading = "## " + title;
+  const std::size_t start = text.find(heading);
+  EXPECT_NE(start, std::string::npos) << "missing section '" << heading << "'";
+  if (start == std::string::npos) return {};
+  const std::size_t end = text.find("\n## ", start + heading.size());
+  return text.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+}
+
+/// First backticked token of every markdown table body row ("| `name` ...").
+std::set<std::string> table_names(const std::string& sect) {
+  std::set<std::string> names;
+  std::istringstream lines(sect);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t open = line.find("| `");
+    if (open != 0) continue;  // not a table body row with a backticked name
+    const std::size_t from = open + 3;
+    const std::size_t close = line.find('`', from);
+    if (close == std::string::npos) continue;
+    names.insert(line.substr(from, close - from));
+  }
+  return names;
+}
+
+testing::AssertionResult same_sets(const std::set<std::string>& documented,
+                                   const std::vector<std::string>& actual,
+                                   const char* what) {
+  const std::set<std::string> live(actual.begin(), actual.end());
+  std::ostringstream diff;
+  for (const std::string& name : live) {
+    if (!documented.contains(name)) {
+      diff << " undocumented " << what << " '" << name << "';";
+    }
+  }
+  for (const std::string& name : documented) {
+    if (!live.contains(name)) {
+      diff << " stale documented " << what << " '" << name << "';";
+    }
+  }
+  if (diff.str().empty()) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << "docs/SOLVERS.md disagrees with the code:" << diff.str();
+}
+
+TEST(Docs, SolversTableMatchesRegistry) {
+  const std::string doc = read_doc("SOLVERS.md");
+  EXPECT_TRUE(same_sets(table_names(section(doc, "Solvers")),
+                        SolverRegistry::global().names(), "solver"));
+}
+
+TEST(Docs, PresetsTableMatchesPresetNames) {
+  const std::string doc = read_doc("SOLVERS.md");
+  EXPECT_TRUE(same_sets(table_names(section(doc, "Presets")), preset_names(),
+                        "preset"));
+}
+
+TEST(Docs, BenchSchemaDocumentsEveryJsonlKey) {
+  std::ostringstream row;
+  expt::write_jsonl(row, expt::RunRecord{});
+  const std::string line = row.str();
+  const std::string schema = read_doc("BENCH_SCHEMA.md");
+
+  // Pull the keys out of the emitted JSONL line ("key": ...) and require a
+  // backticked mention of each in the schema page.
+  std::size_t pos = 0;
+  std::size_t keys = 0;
+  while ((pos = line.find('"', pos)) != std::string::npos) {
+    const std::size_t close = line.find('"', pos + 1);
+    ASSERT_NE(close, std::string::npos);
+    const std::string token = line.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    if (pos >= line.size() || line[pos] != ':') continue;  // a value, not a key
+    ++keys;
+    EXPECT_NE(schema.find("`" + token + "`"), std::string::npos)
+        << "JSONL key '" << token << "' is not documented in BENCH_SCHEMA.md";
+  }
+  EXPECT_EQ(keys, 25u) << "RunRecord schema size changed; update "
+                          "docs/BENCH_SCHEMA.md and this pin";
+}
+
+TEST(Docs, CorePagesExistAndAreNonTrivial) {
+  for (const char* name :
+       {"ARCHITECTURE.md", "LP.md", "SOLVERS.md", "BENCH_SCHEMA.md"}) {
+    const std::string doc = read_doc(name);
+    EXPECT_GT(doc.size(), 1000u) << name << " looks like a stub";
+  }
+  // The architecture page must name every src/ subsystem.
+  const std::string arch = read_doc("ARCHITECTURE.md");
+  for (const char* subsystem :
+       {"src/common", "src/core", "src/lp", "src/unrelated", "src/colgen",
+        "src/restricted", "src/uniform", "src/setcover", "src/improve",
+        "src/exact", "src/api", "src/expt"}) {
+    EXPECT_NE(arch.find(subsystem), std::string::npos)
+        << "ARCHITECTURE.md does not mention " << subsystem;
+  }
+}
+
+}  // namespace
+}  // namespace setsched

@@ -147,6 +147,8 @@ RunRecord sample_record() {
   r.time_ms = 0.125;
   r.lp_solves = 7;
   r.lp_iterations = 431;
+  r.lp_dual_solves = 4;
+  r.fixed_vars = 11;
   r.nodes = 1234;
   r.lp_bounds_used = 5;
   r.proven_optimal = true;
@@ -217,8 +219,8 @@ TEST(ExptRecordIo, CsvHeaderAndQuoting) {
   EXPECT_EQ(out.substr(0, out.find('\n')),
             "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
             "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,"
-            "nodes,lp_bounds_used,proven_optimal,gap,"
-            "epsilon,precision,time_limit_s,error");
+            "lp_dual_solves,fixed_vars,nodes,lp_bounds_used,proven_optimal,"
+            "gap,epsilon,precision,time_limit_s,error");
   EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
 }
 
