@@ -1,9 +1,10 @@
 // A5 — exact-solver bounding ablation: node counts and wall time of the
 // branch-and-bound under (a) the seed-equivalent configuration (DFS with
 // combinatorial bounds only), (b) the dominance memo + stronger symmetry
-// breaking, and (c) the full LP-bounded search, plus the dive mode as the
-// mid-size reference point. Documents the proven-optimal ceiling each
-// configuration can close within the same node budget.
+// breaking, (c) the full LP-bounded search, and (d) the cold prove vs the
+// dive-seeded prove (the dive-then-prove chain's payoff), plus the dive
+// mode as the mid-size reference point. Documents the proven-optimal
+// ceiling each configuration can close within the same node budget.
 
 #include "bench_util.h"
 #include "core/generators.h"
@@ -64,6 +65,64 @@ int main() {
         .add(summarize(times).mean, 2);
   }
   table.print(std::cout);
+
+  // Cold prove vs dive-seeded prove: the chain's point is that the dive's
+  // incumbent makes the prove cutoff (and reduced-cost fixing) bite from
+  // node 1, so the prove phase closes the same tree in a fraction of the
+  // nodes. `chain` is the packaged dive-then-prove mode (its node count
+  // includes the dive's beam states).
+  Table chain_table({"phase", "seeds", "proven", "mean nodes", "mean ms"});
+  {
+    ExactOptions dive_opt;
+    dive_opt.mode = ExactMode::kDive;
+    ExactOptions chain_opt;
+    chain_opt.mode = ExactMode::kDiveThenProve;
+    std::vector<double> cold_nodes, cold_ms, seeded_nodes, seeded_ms,
+        chain_nodes, chain_ms;
+    std::size_t cold_proven = 0, seeded_proven = 0, chain_proven = 0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const Instance inst = generate_unrelated(p, seed);
+      Timer cold_timer;
+      const ExactResult cold = solve_exact(inst, lp_bounded);
+      cold_ms.push_back(cold_timer.elapsed_ms());
+      cold_nodes.push_back(static_cast<double>(cold.nodes));
+      if (cold.proven_optimal) ++cold_proven;
+
+      Timer seeded_timer;
+      const ExactResult dive_r = solve_exact(inst, dive_opt);
+      ExactOptions seeded_opt = lp_bounded;
+      seeded_opt.initial_schedule = dive_r.schedule;
+      const ExactResult seeded = solve_exact(inst, seeded_opt);
+      seeded_ms.push_back(seeded_timer.elapsed_ms());
+      seeded_nodes.push_back(static_cast<double>(seeded.nodes));
+      if (seeded.proven_optimal) ++seeded_proven;
+
+      Timer chain_timer;
+      const ExactResult chain = solve_exact(inst, chain_opt);
+      chain_ms.push_back(chain_timer.elapsed_ms());
+      chain_nodes.push_back(static_cast<double>(chain.nodes));
+      if (chain.proven_optimal) ++chain_proven;
+    }
+    chain_table.row()
+        .add("cold prove")
+        .add(seeds)
+        .add(cold_proven)
+        .add(summarize(cold_nodes).mean, 0)
+        .add(summarize(cold_ms).mean, 2);
+    chain_table.row()
+        .add("dive-seeded prove")
+        .add(seeds)
+        .add(seeded_proven)
+        .add(summarize(seeded_nodes).mean, 0)
+        .add(summarize(seeded_ms).mean, 2);
+    chain_table.row()
+        .add("dive-then-prove")
+        .add(seeds)
+        .add(chain_proven)
+        .add(summarize(chain_nodes).mean, 0)
+        .add(summarize(chain_ms).mean, 2);
+  }
+  chain_table.print(std::cout);
 
   // Mid-size dive reference: certified gap where proving is hopeless.
   UnrelatedGenParams mid;

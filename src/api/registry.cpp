@@ -212,6 +212,18 @@ void register_builtin_solvers(SolverRegistry& registry) {
         ExactOptions options;
         options.mode = ExactMode::kDive;
         options.time_limit_s = context.time_limit_s;
+        options.initial_upper_bound = unrelated_upper_bound(input.instance);
+        options.lp_algorithm = context.lp_algorithm;
+        options.lp_pricing = context.lp_pricing;
+        const ExactResult result = solve_exact(input.instance, options);
+        return finish(input.instance, result.schedule, exact_stats(result));
+      });
+  add("dive-then-prove", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        ExactOptions options;
+        options.mode = ExactMode::kDiveThenProve;
+        options.time_limit_s = context.time_limit_s;
+        options.initial_upper_bound = unrelated_upper_bound(input.instance);
         options.lp_algorithm = context.lp_algorithm;
         options.lp_pricing = context.lp_pricing;
         const ExactResult result = solve_exact(input.instance, options);

@@ -4,8 +4,11 @@
 #include <numeric>
 #include <optional>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "core/bounds.h"
+#include "core/schedule.h"
+#include "exact/chain.h"
 #include "exact/dive.h"
 #include "exact/dominance.h"
 #include "exact/lp_bound.h"
@@ -28,12 +31,19 @@ class ProveSolver {
   ExactResult run() {
     plan_ = exact::build_search_plan(inst_);
 
-    // Incumbent from the trivial greedy schedule. The external bound is
-    // INCLUSIVE and never replaces the incumbent: `incumbent_` is always
-    // the makespan of a schedule we actually hold, while the bound only
-    // tightens the pruning cutoff (a schedule equal to the bound survives).
+    // Incumbent from the trivial greedy schedule, improved by the caller's
+    // initial_schedule when one is supplied (this is what lets a budget
+    // abort return the dive's schedule instead of the greedy one). The
+    // external bound is INCLUSIVE and never replaces the incumbent:
+    // `incumbent_` is always the makespan of a schedule we actually hold,
+    // while the bound only tightens the pruning cutoff (a schedule equal to
+    // the bound survives).
     best_schedule_ = best_machine_schedule(inst_);
     incumbent_ = makespan(inst_, best_schedule_);
+    if (opt_.initial_schedule.has_value()) {
+      exact::adopt_initial_schedule(inst_, *opt_.initial_schedule,
+                                    &best_schedule_, &incumbent_);
+    }
     lower_bound_ = unrelated_lower_bound(inst_);
     update_cutoff();
 
@@ -48,9 +58,15 @@ class ProveSolver {
                                                      opt_.root_bound_precision));
         // Root reduced-cost fixing: pairs the root relaxation proves
         // incompatible with beating the cutoff are excluded for the whole
-        // search (never undone).
+        // search (never undone). The snapshot keeps the root solve's
+        // sensitivity bounds alive so every later incumbent improvement can
+        // re-run the fixing at its tighter cutoff (refix_root below)
+        // without another LP solve — PR 5 fixed once at the initial cutoff
+        // and never again, leaving the fixes far weaker than the search
+        // state justified.
         if (opt_.reduced_cost_fixing && !incumbent_meets_lb()) {
           bounder_->fix_dominated(prune_at_, &fix_undo_);
+          bounder_->save_root_snapshot();
         }
       }
     }
@@ -122,7 +138,14 @@ class ProveSolver {
         incumbent_ = current_max;
         best_schedule_ = current_;
         update_cutoff();
-        if (incumbent_meets_lb()) optimal_reached_ = true;
+        if (incumbent_meets_lb()) {
+          optimal_reached_ = true;
+        } else if (bounder_ && opt_.reduced_cost_fixing) {
+          // Incremental root fixing: the root snapshot's sensitivity bounds
+          // are re-applied at the tightened cutoff. Permanent (no undo
+          // entry), so the fixes survive every subtree-scope unwind.
+          bounder_->refix_root(prune_at_);
+        }
       }
       return;
     }
@@ -184,8 +207,10 @@ class ProveSolver {
     const double next_remaining = remaining_min - plan_.min_proc[j];
     const bool pin = bounder_ && depth < opt_.lp_bound_depth;
     for (const Option& o : options) {
-      // The cutoff may have tightened while earlier siblings ran.
+      // The cutoff may have tightened — and refix_root may have excluded
+      // this pair — while earlier siblings ran.
       if (o.new_load >= prune_at_) continue;
+      if (bounder_ && bounder_->pair_fixed(j, o.machine)) continue;
       const MachineId i = o.machine;
       const double old_load = loads_[i];
       loads_[i] = o.new_load;
@@ -241,6 +266,9 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
   instance.validate();
   if (options.mode == ExactMode::kDive) {
     return exact::dive_search(instance, options);
+  }
+  if (options.mode == ExactMode::kDiveThenProve) {
+    return exact::dive_then_prove(instance, options);
   }
   ProveSolver solver(instance, options);
   return solver.run();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/instance.h"
 #include "core/result.h"
@@ -17,8 +18,16 @@ enum class ExactMode : std::uint8_t {
   /// Time-boxed best-first beam dive: yields a high-quality incumbent with a
   /// certified gap for mid-size instances (n ~ 30-60) where proving is
   /// hopeless. proven_optimal is reported only when the incumbent meets the
-  /// certified lower bound.
+  /// certified lower bound, or when the beam never dropped a reachable
+  /// state (the dive degenerated to an exhaustive search).
   kDive,
+  /// Dive-then-prove chain: a time-boxed kDive pass (dive_time_limit_s)
+  /// produces an incumbent schedule that seeds a kProve pass as its initial
+  /// incumbent/cutoff, so reduced-cost fixing and the load cuts bite from
+  /// node 1 instead of waiting for the B&B to rediscover a good schedule.
+  /// The two phases' effort counters are merged into one ExactResult; a
+  /// budget abort never returns a schedule worse than the dive's.
+  kDiveThenProve,
 };
 
 struct ExactOptions {
@@ -29,12 +38,21 @@ struct ExactOptions {
   std::size_t max_nodes = 200'000'000;
   /// Wall-clock budget in seconds (checked coarsely).
   double time_limit_s = 60.0;
-  /// Optional initial upper bound, INCLUSIVE (kProve only; kDive ignores
-  /// it): the caller promises some schedule of makespan <= this value
-  /// exists, and a schedule whose makespan exactly equals the bound is
-  /// acceptable and will be found. (An invalid bound below OPT makes the
-  /// search vacuous, exactly as a MIP cutoff would.) 0 = none.
+  /// Optional initial upper bound, INCLUSIVE, honored by EVERY mode (the
+  /// PR 5 dive silently ignored it, breaking the option's contract): the
+  /// caller promises some schedule of makespan <= this value exists, and a
+  /// schedule whose makespan exactly equals the bound is acceptable and
+  /// will be found. (An invalid bound below OPT makes the search vacuous,
+  /// exactly as a MIP cutoff would.) 0 = none.
   double initial_upper_bound = 0.0;
+  /// Optional initial incumbent SCHEDULE (must be complete and feasible for
+  /// the instance). Both search modes adopt it as their starting incumbent
+  /// when it beats the trivial best_machine_schedule one, so (a) the cutoff
+  /// — and with it root reduced-cost fixing — starts at the schedule's
+  /// makespan, and (b) a budget abort can never return a schedule worse
+  /// than this one (a bare initial_upper_bound only tightens the cutoff;
+  /// the schedule achieving it used to be thrown away).
+  std::optional<Schedule> initial_schedule;
   /// Prune nodes whose assignment-LP relaxation (path jobs pinned to their
   /// machines) cannot beat the current cutoff, and certify the root lower
   /// bound used for gap reporting. One parametric min-makespan model is
@@ -59,6 +77,17 @@ struct ExactOptions {
   std::size_t memo_limit = 256;
   /// kDive: beam width per level.
   std::size_t beam_width = 256;
+  /// kDive: how many kept states each candidate is checked against in the
+  /// per-level dominance prefilter (0 = scan them all). The default keeps
+  /// the prefilter O(1) per candidate; widening it drops more duplicate /
+  /// dominated states (freeing beam slots) but costs a longer scan. Sound
+  /// at any value — a kept dominated state is redundant, never wrong — so
+  /// the returned makespan does not depend on it when the beam is wide
+  /// enough to hold every survivor.
+  std::size_t dive_dominance_scan = 64;
+  /// kDiveThenProve: wall-clock budget of the dive phase (further capped at
+  /// half of time_limit_s); the prove phase gets whatever remains.
+  double dive_time_limit_s = 0.5;
   /// Simplex implementation for the LP bounds (kAuto upgrades to kDual, the
   /// natural engine for the min-makespan relaxation; kTableau forces the
   /// dense reference oracle end to end for before/after sweeps).
@@ -111,6 +140,9 @@ struct ExactResult {
 ///
 /// kDive: best-first beam search over the same job order with the same
 /// symmetry reductions; reports the incumbent with its certified gap.
+///
+/// kDiveThenProve: the dive's incumbent schedule seeds the prove pass
+/// (initial_schedule/cutoff); counters are merged across the two phases.
 [[nodiscard]] ExactResult solve_exact(const Instance& instance,
                                       const ExactOptions& options = {});
 

@@ -1,0 +1,52 @@
+#include "exact/chain.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+#include "exact/dive.h"
+#include "exact/search_util.h"
+
+namespace setsched::exact {
+
+ExactResult dive_then_prove(const Instance& inst, const ExactOptions& opt) {
+  Timer timer;
+
+  // Phase 1: a short dive for a strong incumbent. Capped at half the total
+  // budget so the prove phase is never starved by its own warm-up.
+  ExactOptions dive_opt = opt;
+  dive_opt.mode = ExactMode::kDive;
+  dive_opt.time_limit_s =
+      std::min(opt.dive_time_limit_s, 0.5 * opt.time_limit_s);
+  ExactResult dive = dive_search(inst, dive_opt);
+  if (dive.proven_optimal) return dive;
+
+  // Phase 2: prove, seeded with the dive's schedule as the starting
+  // incumbent (so root reduced-cost fixing bites at the dive's makespan from
+  // node 1, and a budget abort still returns at least that schedule). The
+  // dive's spent node/time budget is charged against the chain's total; an
+  // exhausted budget means the prove pass aborts on its first expansion and
+  // the chain degenerates to the dive result.
+  ExactOptions prove_opt = opt;
+  prove_opt.mode = ExactMode::kProve;
+  prove_opt.initial_schedule = dive.schedule;
+  prove_opt.time_limit_s =
+      std::max(0.0, opt.time_limit_s - timer.elapsed_seconds());
+  prove_opt.max_nodes =
+      opt.max_nodes > dive.nodes ? opt.max_nodes - dive.nodes : 0;
+  ExactResult out = solve_exact(inst, prove_opt);
+
+  // One RunRecord for the whole chain: effort counters are the sum of both
+  // phases, and the certificate keeps the stronger of the two lower bounds.
+  out.nodes += dive.nodes;
+  out.lp_bounds_used += dive.lp_bounds_used;
+  out.lp_dual_solves += dive.lp_dual_solves;
+  out.lp_iterations += dive.lp_iterations;
+  out.fixed_vars += dive.fixed_vars;
+  if (!out.proven_optimal && dive.lower_bound > out.lower_bound) {
+    certify(&out, dive.lower_bound, /*search_complete=*/false);
+  }
+  return out;
+}
+
+}  // namespace setsched::exact

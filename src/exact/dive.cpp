@@ -1,6 +1,7 @@
 #include "exact/dive.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -48,9 +49,28 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
   const std::size_t kc = inst.num_classes();
   const SearchPlan plan = build_search_plan(inst);
 
+  // Incumbent: the trivial greedy schedule, improved by the caller's
+  // initial_schedule when one is supplied.
   Schedule best_schedule = best_machine_schedule(inst);
   double incumbent = makespan(inst, best_schedule);
+  if (opt.initial_schedule.has_value()) {
+    adopt_initial_schedule(inst, *opt.initial_schedule, &best_schedule,
+                           &incumbent);
+  }
   double lower_bound = unrelated_lower_bound(inst);
+
+  // Pruning cutoff, mirroring the prove mode's semantics: a state whose
+  // completion bound reaches the incumbent cannot improve on a schedule we
+  // already hold, and the external initial_upper_bound is INCLUSIVE — a
+  // schedule equal to the bound is still acceptable, so it enters with a
+  // small upward slack. (PR 5's dive ignored the external bound entirely,
+  // breaking the documented ExactOptions contract.) Cutoff drops are sound
+  // exclusions and never count as beam truncation.
+  double prune_at = incumbent - 1e-12;
+  if (opt.initial_upper_bound > 0.0) {
+    prune_at =
+        std::min(prune_at, opt.initial_upper_bound * (1.0 + 1e-9) + 1e-9);
+  }
 
   // Suffix sums of the cheapest processing times in branching order:
   // remaining_min[d] = minimum extra work once jobs order[0..d) are placed.
@@ -64,20 +84,21 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
   ExactResult out;
   std::optional<LpBounder> bounder;
   std::vector<std::pair<JobId, MachineId>> fixed_pairs;
-  if (opt.use_lp_bounds && incumbent > 0.0) {
+  if (opt.use_lp_bounds && prune_at > 0.0) {
     lp::SimplexOptions simplex;
     simplex.algorithm = opt.lp_algorithm;
     simplex.pricing = opt.lp_pricing;
-    bounder.emplace(inst, incumbent, simplex);
+    bounder.emplace(inst, prune_at, simplex);
     if (bounder->available()) {
       lower_bound = std::max(
-          lower_bound, bounder->root_lower_bound(lower_bound, incumbent,
+          lower_bound, bounder->root_lower_bound(lower_bound, prune_at,
                                                  opt.root_bound_precision));
-      // Root reduced-cost fixing: pairs that provably cannot beat the
-      // trivial incumbent never enter the beam, cutting the branching
-      // factor of every level.
+      // Root reduced-cost fixing at the real cutoff (incumbent and external
+      // bound, not just the trivial incumbent): pairs that provably cannot
+      // beat it never enter the beam, cutting the branching factor of
+      // every level.
       if (opt.reduced_cost_fixing) {
-        bounder->fix_dominated(incumbent, &fixed_pairs);
+        bounder->fix_dominated(prune_at, &fixed_pairs);
       }
     }
   }
@@ -120,21 +141,35 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
         }
         const bool has_setup = state.class_on[i * kc + k] != 0;
         const double add_setup = has_setup ? 0.0 : inst.setup(i, k);
+        const double new_load = state.loads[i] + inst.proc(i, j) + add_setup;
+        // Cutoff cut before the (expensive) state copy: every completion of
+        // this child has makespan >= new_load >= prune_at, so it can never
+        // be accepted. A sound exclusion, not a truncation.
+        if (new_load >= prune_at) continue;
         BeamState child = state;
         child.assignment[j] = i;
-        child.loads[i] += inst.proc(i, j) + add_setup;
+        child.loads[i] = new_load;
         child.class_on[i * kc + k] = 1;
         child.total_load += inst.proc(i, j) + add_setup;
-        child.max_load = std::max(child.max_load, child.loads[i]);
+        child.max_load = std::max(child.max_load, new_load);
         child.score = std::max(
             child.max_load, (child.total_load + remaining_min[depth + 1]) /
                                 static_cast<double>(m));
+        // The average-load component can push the completion bound past the
+        // cutoff even when no single load does.
+        if (child.score >= prune_at) continue;
         children.push_back(std::move(child));
       }
     }
     // Keep the best-scored states, dropping those an already kept (hence
     // better-scored) state dominates. stable_sort keeps the level
-    // deterministic across platforms under score ties.
+    // deterministic across platforms under score ties. The dominance check
+    // runs BEFORE the width check: a dominated candidate is redundant
+    // whether or not the kept set is full, so only dropping a NON-dominated
+    // candidate forfeits the exhaustiveness certificate. (PR 5 broke out of
+    // the loop the moment the kept set filled, flagging `truncated` even
+    // when every remaining child was dominated — small instances whose
+    // survivors exactly fit the width lost their proven_optimal.)
     std::stable_sort(children.begin(), children.end(),
                      [](const BeamState& a, const BeamState& b) {
                        return a.score < b.score;
@@ -142,16 +177,20 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
     std::vector<BeamState> kept;
     kept.reserve(std::min(level_width, children.size()));
     for (BeamState& child : children) {
+      bool redundant = false;
+      const std::size_t scan =
+          opt.dive_dominance_scan == 0
+              ? kept.size()
+              : std::min(kept.size(), opt.dive_dominance_scan);
+      for (std::size_t s = 0; s < scan && !redundant; ++s) {
+        redundant = dominated_by(kept[s], child);
+      }
+      if (redundant) continue;
       if (kept.size() >= level_width) {
         truncated = true;
         break;
       }
-      bool redundant = false;
-      const std::size_t scan = std::min<std::size_t>(kept.size(), 64);
-      for (std::size_t s = 0; s < scan && !redundant; ++s) {
-        redundant = dominated_by(kept[s], child);
-      }
-      if (!redundant) kept.push_back(std::move(child));
+      kept.push_back(std::move(child));
     }
     beam = std::move(kept);
   }
@@ -172,10 +211,11 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
     out.lp_iterations = bounder->iterations();
     out.fixed_vars = bounder->fixed_vars();
   }
-  // If no state was ever dropped for width or time, the beam covered the
-  // whole reachable state space (up to sound symmetry/dominance skips) and
-  // the dive degenerates to an exhaustive search; otherwise optimality is
-  // only proven when the incumbent meets the certified lower bound.
+  // If no state was ever dropped for width or time, the beam covered every
+  // state that could beat the incumbent/cutoff (up to sound symmetry/
+  // dominance/cutoff skips) and the dive degenerates to an exhaustive
+  // search; otherwise optimality is only proven when the incumbent meets
+  // the certified lower bound.
   certify(&out, lower_bound, /*search_complete=*/!truncated);
   return out;
 }

@@ -42,4 +42,11 @@ std::size_t LpBounder::fix_dominated(
   return fixed;
 }
 
+std::size_t LpBounder::refix_root(double cutoff) {
+  if (!lp_) return 0;
+  const std::size_t fixed = lp_->refix_root(cutoff);
+  fixed_ += fixed;
+  return fixed;
+}
+
 }  // namespace setsched::exact

@@ -74,6 +74,19 @@ class LpBounder {
     if (lp_) lp_->unfix(undo, from);
   }
 
+  /// Snapshots the most recent (root, unpinned) solve for refix_root().
+  /// Call right after root_lower_bound(), before any pins are set.
+  void save_root_snapshot() {
+    if (lp_) lp_->save_root_snapshot();
+  }
+
+  /// Incremental root fixing: whenever the incumbent improves mid-search,
+  /// re-applies the root snapshot's sensitivity bounds at the new cutoff.
+  /// Fixes are permanent (no undo entry; they survive every subtree-scope
+  /// unwind) and each pair is root-fixed at most once, so calling this on
+  /// every improvement stays O(n·m) with no LP solve. Returns pairs fixed.
+  std::size_t refix_root(double cutoff);
+
   /// True iff branching job j onto machine i is currently fixed away.
   [[nodiscard]] bool pair_fixed(JobId j, MachineId i) const {
     return lp_ && lp_->pair_fixed(j, i);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/check.h"
+#include "core/schedule.h"
 #include "core/types.h"
 
 namespace setsched::exact {
@@ -79,6 +81,19 @@ bool symmetric_duplicate(const Instance& instance, const SearchPlan& plan,
     if (same) return true;
   }
   return false;
+}
+
+void adopt_initial_schedule(const Instance& instance, const Schedule& initial,
+                            Schedule* best, double* incumbent) {
+  const std::optional<std::string> error = schedule_error(instance, initial);
+  check(!error.has_value(),
+        "ExactOptions::initial_schedule is not a feasible schedule: " +
+            (error ? *error : std::string()));
+  const double value = makespan(instance, initial);
+  if (value < *incumbent) {
+    *best = initial;
+    *incumbent = value;
+  }
 }
 
 void certify(ExactResult* out, double lower_bound, bool search_complete) {

@@ -43,4 +43,12 @@ struct SearchPlan {
 /// raises the lower bound to the incumbent.
 void certify(ExactResult* out, double lower_bound, bool search_complete);
 
+/// Adopts ExactOptions::initial_schedule as the search's starting incumbent
+/// when it beats the one in *best (shared by the prove and dive modes).
+/// Throws CheckError when the schedule is incomplete or infeasible for the
+/// instance — an invalid external incumbent must fail loudly, not silently
+/// corrupt the ground truth.
+void adopt_initial_schedule(const Instance& instance, const Schedule& initial,
+                            Schedule* best, double* incumbent);
+
 }  // namespace setsched::exact

@@ -26,7 +26,8 @@ ParametricAssignmentLp::ParametricAssignmentLp(
       yv_(instance.num_machines(), instance.num_classes(), kNoVar),
       packing_row_(instance.num_machines(), instance.num_classes(), kNoVar),
       pinned_(instance.num_jobs(), kUnassigned),
-      fixed_zero_(instance.num_machines(), instance.num_jobs(), 0) {
+      fixed_zero_(instance.num_machines(), instance.num_jobs(), 0),
+      root_fixed_(instance.num_machines(), instance.num_jobs(), 0) {
   check(!(options.makespan_objective && options.strengthen),
         "makespan objective is incompatible with strengthening (the packing "
         "coefficients contain T)");
@@ -224,15 +225,7 @@ std::optional<double> ParametricAssignmentLp::min_makespan(double T_filter) {
   return value;
 }
 
-std::size_t ParametricAssignmentLp::fix_dominated(
-    double cutoff, std::vector<std::pair<JobId, MachineId>>* out) {
-  check(options_.makespan_objective,
-        "fix_dominated needs AssignmentLpOptions::makespan_objective");
-  if (!last_solution_.optimal()) return 0;
-  const double value = last_solution_.objective;
-  const double margin = 1e-7 * std::max(1.0, std::abs(cutoff));
-  if (value >= cutoff) return 0;  // the whole node prunes anyway
-
+void ParametricAssignmentLp::compute_reduced_costs() {
   // Reduced costs d_j = c_j - y^T A_j in one sweep over the rows (the model
   // is a minimization, so a nonbasic-at-lower column satisfies d_j >= 0 and
   // the sensitivity bound obj(x_j >= t) >= value + d_j * t). The scratch
@@ -247,7 +240,19 @@ std::size_t ParametricAssignmentLp::fix_dominated(
     if (y == 0.0) continue;
     for (const lp::Entry& e : model_.row(r)) reduced[e.col] -= y * e.value;
   }
+}
 
+std::size_t ParametricAssignmentLp::fix_dominated(
+    double cutoff, std::vector<std::pair<JobId, MachineId>>* out) {
+  check(options_.makespan_objective,
+        "fix_dominated needs AssignmentLpOptions::makespan_objective");
+  if (!last_solution_.optimal()) return 0;
+  const double value = last_solution_.objective;
+  const double margin = 1e-7 * std::max(1.0, std::abs(cutoff));
+  if (value >= cutoff) return 0;  // the whole node prunes anyway
+
+  compute_reduced_costs();
+  const std::vector<double>& reduced = reduced_scratch_;
   const Instance& inst = *instance_;
   std::size_t fixed = 0;
   for (MachineId i = 0; i < inst.num_machines(); ++i) {
@@ -260,7 +265,7 @@ std::size_t ParametricAssignmentLp::fix_dominated(
       // exclude columns sitting away from 0 explicitly for clarity.
       if (last_solution_.x[v] > 1e-9) continue;
       if (value + reduced[v] >= cutoff + margin) {
-        fixed_zero_(i, j) = 1;
+        ++fixed_zero_(i, j);
         out->push_back({j, i});
         ++fixed;
       }
@@ -274,8 +279,48 @@ void ParametricAssignmentLp::unfix(
   while (out->size() > from) {
     const auto [j, i] = out->back();
     out->pop_back();
-    fixed_zero_(i, j) = 0;
+    --fixed_zero_(i, j);
   }
+}
+
+bool ParametricAssignmentLp::save_root_snapshot() {
+  check(options_.makespan_objective,
+        "save_root_snapshot needs AssignmentLpOptions::makespan_objective");
+  for (const MachineId pin : pinned_) {
+    check(pin == kUnassigned, "root snapshot taken with pins set");
+  }
+  if (!last_solution_.optimal()) return false;
+  compute_reduced_costs();
+  const double value = last_solution_.objective;
+  root_bound_.assign(model_.num_variables(), -kInfinity);
+  for (std::size_t v = 0; v < model_.num_variables(); ++v) {
+    if (last_solution_.x[v] > 1e-9) continue;  // no bound off the lower bound
+    root_bound_[v] = value + reduced_scratch_[v];
+  }
+  return true;
+}
+
+std::size_t ParametricAssignmentLp::refix_root(double cutoff) {
+  if (root_bound_.empty()) return 0;
+  const double margin = 1e-7 * std::max(1.0, std::abs(cutoff));
+  const Instance& inst = *instance_;
+  std::size_t fixed = 0;
+  for (MachineId i = 0; i < inst.num_machines(); ++i) {
+    for (JobId j = 0; j < inst.num_jobs(); ++j) {
+      const std::size_t v = xv_(i, j);
+      if (v == kNoVar || root_fixed_(i, j) != 0) continue;
+      if (root_bound_[v] >= cutoff + margin) {
+        // Permanent: stacks on top of any live subtree fix (the count keeps
+        // the pair fixed when that scope unwinds) and is never undone. Jobs
+        // currently pinned onto the pair are fixed too — the root bound is a
+        // pin-free fact, so the surrounding subtree just prunes.
+        root_fixed_(i, j) = 1;
+        ++fixed_zero_(i, j);
+        ++fixed;
+      }
+    }
+  }
+  return fixed;
 }
 
 bool ParametricAssignmentLp::feasible(double T) {

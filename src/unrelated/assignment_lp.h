@@ -98,6 +98,23 @@ class ParametricAssignmentLp {
   /// the fix_dominated calls made since *out had size `from`).
   void unfix(std::vector<std::pair<JobId, MachineId>>* out, std::size_t from);
 
+  /// Snapshots the last min_makespan() solve — objective value plus the
+  /// per-variable sensitivity bound `value + reduced_cost` of every
+  /// nonbasic-at-lower column — as the ROOT relaxation. Must be called with
+  /// no pins set (the bound is a fact about the unpinned LP, valid at every
+  /// later, tighter cutoff). Returns false and stores nothing when the last
+  /// solve was not optimal.
+  bool save_root_snapshot();
+
+  /// Incremental root fixing: re-applies the saved root snapshot at a
+  /// (tighter) cutoff, fixing every pair whose root sensitivity bound
+  /// certifies that any completion using it has makespan >= cutoff. Root
+  /// fixes are PERMANENT — they carry no undo entry and stack with
+  /// subtree-scoped fix_dominated() fixes, so a pair fixed by both stays
+  /// fixed when the subtree scope unwinds. Each pair is root-fixed at most
+  /// once. Returns the number of pairs newly fixed (0 without a snapshot).
+  std::size_t refix_root(double cutoff);
+
   /// True iff the pair is currently reduced-cost-fixed to 0.
   [[nodiscard]] bool pair_fixed(JobId j, MachineId i) const {
     return fixed_zero_(i, j) != 0;
@@ -122,6 +139,8 @@ class ParametricAssignmentLp {
 
  private:
   void reparameterize(double T);
+  /// Fills reduced_scratch_ with the reduced costs of last_solution_.
+  void compute_reduced_costs();
   /// Shared solve path: re-parameterizes, runs the simplex, maintains the
   /// warm-start chain. Returns the solution (status kInfeasible on infeasible
   /// probes and on pins whose variable does not exist in the model).
@@ -140,7 +159,16 @@ class ParametricAssignmentLp {
   std::vector<std::size_t> load_row_;   ///< per machine (SIZE_MAX = none)
   Matrix<std::size_t> packing_row_;     ///< m x K strengthened rows (8)
   std::vector<MachineId> pinned_;       ///< per job; kUnassigned = free
-  Matrix<char> fixed_zero_;             ///< m x n reduced-cost-fixed pairs
+  /// m x n reduced-cost fix COUNTS (0 = free): a pair can be held at zero by
+  /// a subtree-scoped fix_dominated() fix and a permanent refix_root() fix
+  /// at once; unfixing the subtree scope must not free a root-fixed pair.
+  Matrix<char> fixed_zero_;
+  /// m x n pairs already fixed by refix_root() (each at most once, ever).
+  Matrix<char> root_fixed_;
+  /// Root snapshot for refix_root(): per-variable sensitivity bound
+  /// `root value + reduced cost` (-inf for basic/at-upper columns, which
+  /// carry no bound). Empty until save_root_snapshot().
+  std::vector<double> root_bound_;
   /// Pins pointing at variables absent from the model (filtered at T_build):
   /// every probe is infeasible while > 0.
   std::size_t impossible_pins_ = 0;

@@ -66,10 +66,11 @@ TEST(SolverRegistry, RegistersEveryBuiltinSolver) {
   const auto names = SolverRegistry::global().names();
   const char* expected[] = {
       "assignment-lp", "best-machine",        "classuniform-3approx",
-      "colgen",        "cover-greedy",        "exact",
-      "exact-dive",    "greedy",              "greedy-classes",
-      "local-search",  "lpt",                 "lpt-plain",
-      "ptas",          "restricted-2approx",  "rounding",
+      "colgen",        "cover-greedy",        "dive-then-prove",
+      "exact",         "exact-dive",          "greedy",
+      "greedy-classes", "local-search",       "lpt",
+      "lpt-plain",     "ptas",                "restricted-2approx",
+      "rounding",
   };
   for (const char* name : expected) {
     EXPECT_TRUE(SolverRegistry::global().contains(name)) << name;

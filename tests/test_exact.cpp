@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "core/bounds.h"
 #include "core/generators.h"
 #include "core/schedule.h"
@@ -447,6 +448,148 @@ TEST(ExactDive, MidSizeIncumbentCarriesCertifiedGap) {
   EXPECT_LE(r.makespan, makespan(inst, best_machine_schedule(inst)) + 1e-9);
 }
 
+// PR 5's dive silently ignored initial_upper_bound; the bound must now prune
+// (inclusively — an exclusive cut here would prune the optimum itself and
+// return the greedy makespan 9).
+TEST(ExactDive, HonorsInitialUpperBoundInclusively) {
+  Instance inst(2, 1, {0, 0});
+  for (JobId j = 0; j < 2; ++j) {
+    inst.set_proc(0, j, 4);
+    inst.set_proc(1, j, 5);
+  }
+  inst.set_setup(0, 0, 1);
+  inst.set_setup(1, 0, 1);
+  ExactOptions opt;
+  opt.mode = ExactMode::kDive;
+  opt.initial_upper_bound = 6.0;  // == OPT
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_NEAR(makespan(inst, r.schedule), 6.0, 1e-12);
+}
+
+// A budget-starved dive seeded with a known schedule must never return a
+// worse one: the initial_schedule is the incumbent the beam has to beat,
+// not a hint it may drop (this is the contract the dive-then-prove chain's
+// abort guarantee stands on).
+TEST(ExactDive, AdoptsInitialScheduleUnderZeroNodeBudget) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 23);
+  const ExactResult full = solve_exact(inst);
+  ASSERT_TRUE(full.proven_optimal);
+
+  ExactOptions opt;
+  opt.mode = ExactMode::kDive;
+  opt.max_nodes = 0;  // beam collapses to width 1 from the root
+  opt.initial_schedule = full.schedule;
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_NEAR(r.makespan, full.makespan, 1e-9);
+  EXPECT_NEAR(makespan(inst, r.schedule), full.makespan, 1e-9);
+}
+
+TEST(ExactDive, RejectsInfeasibleInitialSchedule) {
+  Instance inst(2, 1, {0, 0});
+  inst.set_proc(0, 0, 1);
+  inst.set_proc(1, 0, kInfinity);  // job 0 not eligible on machine 1
+  inst.set_proc(0, 1, 1);
+  inst.set_proc(1, 1, 1);
+  inst.set_setup(0, 0, 1);
+  inst.set_setup(1, 0, 1);
+  Schedule bad = Schedule::empty(2);
+  bad.assignment = {1, 1};
+  for (const ExactMode mode :
+       {ExactMode::kDive, ExactMode::kProve, ExactMode::kDiveThenProve}) {
+    ExactOptions opt;
+    opt.mode = mode;
+    opt.initial_schedule = bad;
+    EXPECT_THROW((void)solve_exact(inst, opt), CheckError);
+  }
+}
+
+/// Hand-built level where the survivors exactly fit the beam and the only
+/// overflow candidate is a duplicate state reached through two job orders:
+/// machine columns are distinct (no machine symmetry), j0 is its own class,
+/// j1/j2 are identical class-1 jobs. At the last level the beam {11,7} and
+/// {17,0} both reach loads {17,7} with identical paid setups — a true
+/// duplicate that sorts last.
+Instance truncation_pin_instance() {
+  Instance inst(2, 3, {0, 1, 1});
+  inst.set_proc(0, 0, 10);
+  inst.set_proc(1, 0, 20);
+  for (JobId j = 1; j <= 2; ++j) {
+    inst.set_proc(0, j, 4);
+    inst.set_proc(1, j, 5);
+  }
+  for (MachineId i = 0; i < 2; ++i) {
+    inst.set_setup(i, 0, 1);
+    inst.set_setup(i, 1, 2);
+  }
+  return inst;
+}
+
+// Regression for the over-eager truncated flag: PR 5 declared the beam
+// truncated the moment the kept set filled, BEFORE checking whether the
+// overflowing candidate was dominated. A dominated (here: duplicate)
+// overflow is redundant — dropping it loses nothing — so a beam whose width
+// exactly fits the reachable survivors is still an exhaustive search and
+// must keep its proven_optimal certificate.
+TEST(ExactDive, ExactFitBeamWithDominatedOverflowStaysProven) {
+  const Instance inst = truncation_pin_instance();
+  ASSERT_DOUBLE_EQ(enumerate_opt(inst), 12.0);
+
+  ExactOptions opt;
+  opt.mode = ExactMode::kDive;
+  opt.use_lp_bounds = false;  // keep the level trace free of fixed pairs
+  opt.beam_width = 2;         // survivors per level: 1, 2, 2 — exact fit
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_NEAR(r.makespan, 12.0, 1e-9);
+  EXPECT_TRUE(r.proven_optimal)
+      << "dominated overflow at an exactly-full beam flagged as truncation";
+
+  // Control: width 1 genuinely drops a non-dominated state, and the
+  // combinatorial lower bound sits below OPT — establishing that the width-2
+  // certificate above can only come from search completeness, which is
+  // exactly what the old flag destroyed.
+  ExactOptions narrow = opt;
+  narrow.beam_width = 1;
+  const ExactResult t = solve_exact(inst, narrow);
+  EXPECT_FALSE(t.proven_optimal);
+  EXPECT_LT(t.lower_bound, 12.0 - 1e-9);
+}
+
+// The dominance prefilter cap is a speed/coverage dial, never a correctness
+// one: a kept dominated state wastes a beam slot but is never wrong, so on a
+// beam wide enough to hold every survivor the makespan must not depend on
+// the scan depth (1 = nearly no prefilter, 64 = default, 0 = scan all).
+TEST(ExactDive, DominanceScanCapNeverChangesTheMakespan) {
+  UnrelatedGenParams p;
+  p.num_jobs = 10;
+  p.num_machines = 3;
+  p.num_classes = 3;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance inst = generate_unrelated(p, seed + 40);
+    double reference = -1.0;
+    for (const std::size_t scan : {std::size_t{1}, std::size_t{64},
+                                   std::size_t{0}}) {
+      ExactOptions opt;
+      opt.mode = ExactMode::kDive;
+      opt.beam_width = 100000;
+      opt.dive_dominance_scan = scan;
+      const ExactResult r = solve_exact(inst, opt);
+      EXPECT_TRUE(r.proven_optimal) << "seed " << seed << " scan " << scan;
+      if (reference < 0.0) {
+        reference = r.makespan;
+      } else {
+        EXPECT_NEAR(r.makespan, reference, 1e-9)
+            << "seed " << seed << " scan " << scan;
+      }
+    }
+  }
+}
+
 TEST(ExactDive, NeverClaimsOptimalityBelowTheBound) {
   // Dive on a hard mid-size instance: whatever it returns, a proven claim
   // must coincide with a zero gap and makespan == lower_bound.
@@ -465,6 +608,144 @@ TEST(ExactDive, NeverClaimsOptimalityBelowTheBound) {
   } else {
     EXPECT_GT(r.gap, 0.0);
   }
+}
+
+// The half of the ignored-bound bug that bit the prove mode: a bare
+// initial_upper_bound tightened the cutoff but the SCHEDULE achieving it was
+// thrown away, so a budget abort fell back to the greedy incumbent. With
+// initial_schedule the abort path must return at least that schedule.
+TEST(Exact, InitialScheduleSurvivesBudgetAbort) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 23);
+  const ExactResult full = solve_exact(inst);
+  ASSERT_TRUE(full.proven_optimal);
+  const double greedy = makespan(inst, best_machine_schedule(inst));
+  ASSERT_GT(greedy, full.makespan + 1e-9);
+
+  ExactOptions opt;
+  opt.max_nodes = 1;
+  opt.initial_schedule = full.schedule;
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_NEAR(r.makespan, full.makespan, 1e-9);
+  EXPECT_NEAR(makespan(inst, r.schedule), full.makespan, 1e-9);
+}
+
+class DiveThenProveRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The chain is still ground truth: on small instances with eligibility holes
+// it must reproduce brute force exactly, proven, with merged counters that
+// at least account for the dive phase.
+TEST_P(DiveThenProveRandomTest, MatchesEnumerationWithEligibilityHoles) {
+  UnrelatedGenParams p;
+  p.num_jobs = 9;
+  p.num_machines = 3;
+  p.num_classes = 4;
+  p.eligibility = 0.5;
+  const Instance inst = generate_unrelated(p, GetParam() + 100);
+  const double reference = enumerate_opt(inst);
+  ExactOptions opt;
+  opt.mode = ExactMode::kDiveThenProve;
+  const ExactResult r = solve_exact(inst, opt);
+  EXPECT_TRUE(r.proven_optimal) << "seed " << GetParam();
+  EXPECT_NEAR(r.makespan, reference, 1e-9) << "seed " << GetParam();
+  EXPECT_FALSE(schedule_error(inst, r.schedule).has_value());
+  EXPECT_DOUBLE_EQ(r.gap, 0.0);
+  EXPECT_GT(r.nodes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiveThenProveRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+// Zero setups (plain R||Cmax) through the chain: the dive's paid-setup
+// dominance and the seeded prove must both stay sound when every setup
+// degenerates to zero.
+TEST(DiveThenProve, MatchesEnumerationWithZeroSetups) {
+  UnrelatedGenParams p;
+  p.num_jobs = 8;
+  p.num_machines = 3;
+  p.num_classes = 2;
+  p.min_setup = 0.0;
+  p.max_setup = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance inst = generate_unrelated(p, seed + 300);
+    ExactOptions opt;
+    opt.mode = ExactMode::kDiveThenProve;
+    const ExactResult r = solve_exact(inst, opt);
+    EXPECT_TRUE(r.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(r.makespan, enumerate_opt(inst), 1e-9) << "seed " << seed;
+  }
+}
+
+// Acceptance pin of this PR: seeding the prove pass with the dive's
+// incumbent must close the pinned n=14 tree in at least 2x fewer DFS nodes
+// than the PR 5 cold start — the whole point of chaining is that the cutoff
+// (and with it reduced-cost fixing and the load cuts) bites from node 1.
+// (Measured: cold 321 nodes vs seeded 132 on this instance; the chain mode
+// itself additionally charges the dive's beam states to its node counter,
+// so the prove-phase speedup is pinned on the seeded prove directly.)
+TEST(DiveThenProve, SeededProveHalvesNodesOnPinnedFourteenJobInstance) {
+  UnrelatedGenParams p;
+  p.num_jobs = 14;
+  p.num_machines = 4;
+  p.num_classes = 5;
+  const Instance inst = generate_unrelated(p, 23);
+
+  const ExactResult cold = solve_exact(inst);  // PR 5 baseline configuration
+
+  ExactOptions dive_opt;
+  dive_opt.mode = ExactMode::kDive;
+  const ExactResult dive = solve_exact(inst, dive_opt);
+
+  ExactOptions seeded_opt;
+  seeded_opt.initial_schedule = dive.schedule;
+  const ExactResult seeded = solve_exact(inst, seeded_opt);
+
+  ASSERT_TRUE(cold.proven_optimal);
+  ASSERT_TRUE(seeded.proven_optimal);
+  EXPECT_NEAR(seeded.makespan, cold.makespan, 1e-9);
+  EXPECT_GE(cold.nodes, 2 * seeded.nodes)
+      << "cold " << cold.nodes << " vs seeded " << seeded.nodes;
+
+  // And the packaged chain reaches the same proven optimum end to end.
+  ExactOptions chain;
+  chain.mode = ExactMode::kDiveThenProve;
+  const ExactResult chained = solve_exact(inst, chain);
+  ASSERT_TRUE(chained.proven_optimal);
+  EXPECT_NEAR(chained.makespan, cold.makespan, 1e-9);
+}
+
+// The budget-abort guarantee: however small the node budget, the chain never
+// reports a schedule worse than what its own dive phase would produce under
+// the same budget (the prove phase starts FROM that schedule; aborting it
+// just returns the adopted incumbent).
+TEST(DiveThenProve, BudgetAbortNeverWorseThanTheDivePhase) {
+  UnrelatedGenParams p;
+  p.num_jobs = 30;
+  p.num_machines = 5;
+  p.num_classes = 6;
+  const Instance inst = generate_unrelated(p, 9);
+
+  ExactOptions opt;
+  opt.mode = ExactMode::kDiveThenProve;
+  opt.max_nodes = 500;  // deterministic truncation: node cap, not wall clock
+  opt.time_limit_s = 60.0;
+  opt.dive_time_limit_s = 10.0;
+  const ExactResult chained = solve_exact(inst, opt);
+
+  ExactOptions dive_opt = opt;
+  dive_opt.mode = ExactMode::kDive;
+  dive_opt.time_limit_s = std::min(opt.dive_time_limit_s,
+                                   0.5 * opt.time_limit_s);
+  const ExactResult dive = solve_exact(inst, dive_opt);
+
+  EXPECT_FALSE(schedule_error(inst, chained.schedule).has_value());
+  EXPECT_LE(chained.makespan, dive.makespan + 1e-9)
+      << "chain returned a worse schedule than its own dive phase";
+  EXPECT_GE(chained.nodes, dive.nodes);  // merged counters include the dive
 }
 
 }  // namespace
