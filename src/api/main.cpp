@@ -10,6 +10,7 @@
 //
 // Options: --seed=N --epsilon=E --precision=P --time-limit=S
 //          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex --csv
+//          --trace=PATH (Chrome trace-event JSON of the run; both modes)
 // Presets: uniform-small uniform-large unrelated-small unrelated-medium
 //          unrelated-midsize restricted class-uniform planted
 // (The README's flag table and docs/SOLVERS.md mirror this block; the
@@ -36,6 +37,8 @@
 #include "expt/harness.h"
 #include "expt/plan.h"
 #include "expt/record_io.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched {
 namespace {
@@ -55,6 +58,7 @@ struct CliOptions {
   std::size_t threads = 0;
   std::string jsonl_path;
   bool record_timing = true;
+  std::string trace_path;  // valid in both single-run and --batch modes
 };
 
 void print_usage(std::ostream& os) {
@@ -64,9 +68,11 @@ void print_usage(std::ostream& os) {
      << "                    [--seed=N] [--epsilon=E] [--precision=P]\n"
      << "                    [--time-limit=S] [--lp=auto|tableau|revised|dual]\n"
      << "                    [--lp-pricing=candidate|devex] [--csv]\n"
+     << "                    [--trace=PATH]\n"
      << "       setsched_cli --batch (--solver=<name> ... | --all)\n"
      << "                    --generate=<preset,...> [--seeds=N | --seeds=A..B]\n"
      << "                    [--threads=N] [--jsonl=PATH] [--no-timing]\n"
+     << "                    [--trace=PATH]\n"
      << "presets:";
   for (const std::string& preset : preset_names()) os << ' ' << preset;
   os << '\n';
@@ -101,6 +107,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
             static_cast<std::size_t>(expt::parse_u64(value, "threads"));
       } else if (consume(arg, "--jsonl", &value)) {
         options.jsonl_path = value;
+      } else if (consume(arg, "--trace", &value)) {
+        options.trace_path = value;
       } else if (consume(arg, "--solver", &value)) {
         options.solvers.push_back(value);
       } else if (consume(arg, "--instance", &value)) {
@@ -168,9 +176,15 @@ RunOutcome run_solver(const std::string& name, const ProblemInput& input,
       outcome.error = "precondition not met";
       return outcome;
     }
+    std::optional<obs::TraceSpan> span;
+    if (obs::trace_enabled()) {
+      span.emplace(obs::intern(name), "solve");
+    }
+    const obs::PhaseTimes phases_before = obs::phase_snapshot();
     Timer timer;
     const ScheduleResult result = solver->solve(input, context);
     outcome.time_ms = timer.elapsed_ms();
+    const obs::PhaseTimes phase_delta = obs::phase_snapshot() - phases_before;
     if (const auto error = schedule_error(input.instance, result.schedule)) {
       outcome.error = "invalid schedule: " + *error;
       return outcome;
@@ -186,6 +200,9 @@ RunOutcome run_solver(const std::string& name, const ProblemInput& input,
     outcome.ratio = lower_bound > 0.0 ? result.makespan / lower_bound : 1.0;
     outcome.setups = total_setups(input.instance, result.schedule);
     outcome.stats = result.stats;
+    // Phase accounting is captured here at the measurement boundary, not by
+    // the solver (which reports algorithmic counters only).
+    outcome.stats.phase_ms = phase_delta;
   } catch (const std::exception& e) {
     outcome.error = e.what();
   }
@@ -202,6 +219,8 @@ int list_solvers(bool csv) {
 }
 
 int run(const CliOptions& options) {
+  // Single-run mode always reports time_ms, so always fill its breakdown.
+  obs::set_timing_enabled(true);
   const ProblemInput input = options.instance_path.empty()
                                  ? generate_preset(options.preset, options.seed)
                                  : load_problem(options.instance_path);
@@ -241,7 +260,7 @@ int run(const CliOptions& options) {
   }
 
   Table table({"solver", "status", "makespan", "ratio_lb", "setups", "optimal",
-               "time_ms"});
+               "time_ms", "lp%"});
   bool any_failed = false;
   for (const RunOutcome& outcome : outcomes) {
     table.row().add(outcome.solver);
@@ -252,11 +271,18 @@ int run(const CliOptions& options) {
           .add(outcome.setups)
           .add(describe_certificate(outcome.stats))
           .add(outcome.time_ms, 1);
+      // Percent of the solve's wall clock inside the LP substrate.
+      if (outcome.time_ms > 0.0) {
+        table.add(100.0 * outcome.stats.phase_ms.lp_ms() / outcome.time_ms, 1);
+      } else {
+        table.add("-");
+      }
     } else if (!outcome.supported) {
-      table.add("skipped").add("-").add("-").add("-").add("-").add("-");
+      table.add("skipped").add("-").add("-").add("-").add("-").add("-").add(
+          "-");
     } else {
       any_failed = true;
-      table.add("FAILED").add("-").add("-").add("-").add("-").add("-");
+      table.add("FAILED").add("-").add("-").add("-").add("-").add("-").add("-");
       std::cerr << "setsched_cli: " << outcome.solver << ": " << outcome.error
                 << "\n";
     }
@@ -353,7 +379,18 @@ int cli_main(int argc, char** argv) {
     return 1;
   }
   try {
-    return options->batch ? run_batch(*options) : run(*options);
+    if (!options->trace_path.empty()) obs::start_trace();
+    const int rc = options->batch ? run_batch(*options) : run(*options);
+    if (!options->trace_path.empty()) {
+      obs::stop_trace();
+      std::ofstream file(options->trace_path);
+      check(file.good(),
+            "cannot open trace output file '" + options->trace_path + "'");
+      obs::write_chrome_trace(file);
+      check(file.good(),
+            "failed writing trace to '" + options->trace_path + "'");
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "setsched_cli: " << e.what() << "\n";
     return 1;

@@ -182,8 +182,10 @@ void register_builtin_solvers(SolverRegistry& registry) {
         simplex.pricing = context.lp_pricing;
         const ConstantApproxResult result =
             two_approx_restricted(input.instance, context.precision, simplex);
-        return finish(input.instance, result.schedule,
-                      {result.lp_solves, result.lp_iterations});
+        SolverStats stats;
+        stats.lp_solves = result.lp_solves;
+        stats.lp_iterations = result.lp_iterations;
+        return finish(input.instance, result.schedule, stats);
       });
   add("classuniform-3approx", is_class_uniform,
       [](const ProblemInput& input, const SolverContext& context) {
@@ -192,8 +194,10 @@ void register_builtin_solvers(SolverRegistry& registry) {
         simplex.pricing = context.lp_pricing;
         const ConstantApproxResult result = three_approx_class_uniform(
             input.instance, context.precision, simplex);
-        return finish(input.instance, result.schedule,
-                      {result.lp_solves, result.lp_iterations});
+        SolverStats stats;
+        stats.lp_solves = result.lp_solves;
+        stats.lp_iterations = result.lp_iterations;
+        return finish(input.instance, result.schedule, stats);
       });
 
   // -- Exact and improvement -----------------------------------------------

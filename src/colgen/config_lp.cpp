@@ -8,6 +8,8 @@
 #include "common/prng.h"
 #include "core/bounds.h"
 #include "lp/simplex.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched {
 
@@ -171,10 +173,15 @@ ConfigLpResult solve_config_lp(const Instance& instance, double T,
       priced[i] = price_machine(instance, static_cast<MachineId>(i), T,
                                 dual_job, options.grid, options.tol);
     };
-    if (options.pool != nullptr) {
-      options.pool->parallel_for(0, m, price_one);
-    } else {
-      for (std::size_t i = 0; i < m; ++i) price_one(i);
+    {
+      const obs::PhaseTimer phase(obs::Phase::kColgenPricing);
+      obs::TraceSpan span("colgen_pricing", "colgen");
+      span.set_arg("round", static_cast<double>(iter));
+      if (options.pool != nullptr) {
+        options.pool->parallel_for(0, m, price_one);
+      } else {
+        for (std::size_t i = 0; i < m; ++i) price_one(i);
+      }
     }
 
     // A configuration improves the RMP iff its dual value beats the

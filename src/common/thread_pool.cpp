@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace setsched {
 
@@ -12,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -33,7 +36,10 @@ void ThreadPool::enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // Named track in --trace output; pools share the numbering scheme, the
+  // trace distinguishes threads by track id.
+  obs::set_thread_track_name("worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

@@ -47,7 +47,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> task);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -13,6 +13,8 @@
 #include "exact/dominance.h"
 #include "exact/lp_bound.h"
 #include "exact/search_util.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched {
 
@@ -21,6 +23,14 @@ namespace {
 using exact::DominanceTable;
 using exact::LpBounder;
 using exact::SearchPlan;
+
+/// One "node" instant per counted search node, tagged with why the node
+/// terminated (or "expanded" when it branched). tools/analyze_trace.py
+/// reconciles the instant count against SolverStats::nodes.
+void emit_node(const char* reason, std::size_t depth) {
+  obs::emit_instant("node", "exact", "reason", reason, "depth",
+                    static_cast<double>(depth));
+}
 
 /// ExactMode::kProve: depth-first branch-and-bound (see branch_bound.h).
 class ProveSolver {
@@ -48,6 +58,8 @@ class ProveSolver {
     update_cutoff();
 
     if (opt_.use_lp_bounds && prune_at_ > 0.0 && !incumbent_meets_lb()) {
+      const obs::PhaseTimer phase(obs::Phase::kRootBound);
+      const obs::TraceSpan span("root_bound", "exact");
       lp::SimplexOptions simplex;
       simplex.algorithm = opt_.lp_algorithm;
       simplex.pricing = opt_.lp_pricing;
@@ -72,6 +84,8 @@ class ProveSolver {
     }
 
     if (!incumbent_meets_lb()) {
+      const obs::PhaseTimer phase(obs::Phase::kProve);
+      const obs::TraceSpan span("prove", "exact");
       current_ = Schedule::empty(inst_.num_jobs());
       loads_.assign(m_, 0.0);
       class_on_.assign(m_ * kc_, 0);
@@ -134,17 +148,23 @@ class ProveSolver {
     }
     ++nodes_;
     if (depth == plan_.order.size()) {
+      emit_node("leaf", depth);
       if (current_max < incumbent_) {
         incumbent_ = current_max;
         best_schedule_ = current_;
         update_cutoff();
+        obs::emit_instant("incumbent", "exact", nullptr, nullptr, "makespan",
+                          current_max);
         if (incumbent_meets_lb()) {
           optimal_reached_ = true;
         } else if (bounder_ && opt_.reduced_cost_fixing) {
           // Incremental root fixing: the root snapshot's sensitivity bounds
           // are re-applied at the tightened cutoff. Permanent (no undo
           // entry), so the fixes survive every subtree-scope unwind.
-          bounder_->refix_root(prune_at_);
+          const obs::PhaseTimer refix_timer(obs::Phase::kRefix);
+          const std::size_t fixed = bounder_->refix_root(prune_at_);
+          obs::emit_instant("refix", "exact", nullptr, nullptr, "fixed",
+                            static_cast<double>(fixed));
         }
       }
       return;
@@ -155,13 +175,21 @@ class ProveSolver {
     const double total_now =
         std::accumulate(loads_.begin(), loads_.end(), 0.0);
     if ((total_now + remaining_min) / static_cast<double>(m_) >= prune_at_) {
+      emit_node("bound", depth);
       return;
     }
 
     // Dominance memo (cheap compare) before the LP probe (simplex solve).
-    if (memo_ && depth >= 2 &&
-        memo_->dominated_or_record(depth, loads_, class_on_)) {
-      return;
+    if (memo_ && depth >= 2) {
+      bool dominated = false;
+      {
+        const obs::PhaseTimer dom_timer(obs::Phase::kDominance);
+        dominated = memo_->dominated_or_record(depth, loads_, class_on_);
+      }
+      if (dominated) {
+        emit_node("dominance", depth);
+        return;
+      }
     }
 
     // LP relaxation with the path pinned: a fractional bound at or above the
@@ -171,12 +199,16 @@ class ProveSolver {
     // (undone on exit; the cutoff only tightens, so fixes stay valid).
     const std::size_t fix_base = fix_undo_.size();
     if (bounder_ && depth > 0 && depth <= opt_.lp_bound_depth) {
-      if (!bounder_->feasible(prune_at_)) return;
+      if (!bounder_->feasible(prune_at_)) {
+        emit_node("lp_infeasible", depth);
+        return;
+      }
       if (opt_.reduced_cost_fixing) {
         bounder_->fix_dominated(prune_at_, &fix_undo_);
       }
     }
 
+    emit_node("expanded", depth);
     const JobId j = plan_.order[depth];
     const ClassId k = inst_.job_class(j);
 

@@ -10,6 +10,8 @@
 #include "core/schedule.h"
 #include "exact/lp_bound.h"
 #include "exact/search_util.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched::exact {
 
@@ -85,6 +87,8 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
   std::optional<LpBounder> bounder;
   std::vector<std::pair<JobId, MachineId>> fixed_pairs;
   if (opt.use_lp_bounds && prune_at > 0.0) {
+    const obs::PhaseTimer phase(obs::Phase::kRootBound);
+    const obs::TraceSpan span("root_bound", "exact");
     lp::SimplexOptions simplex;
     simplex.algorithm = opt.lp_algorithm;
     simplex.pricing = opt.lp_pricing;
@@ -108,6 +112,8 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
   std::size_t nodes = 0;
   bool truncated = false;
 
+  const obs::PhaseTimer dive_phase(obs::Phase::kDive);
+  const obs::TraceSpan dive_span("dive", "exact");
   std::vector<BeamState> beam(1);
   beam[0].assignment.assign(n, kUnassigned);
   beam[0].loads.assign(m, 0.0);
@@ -133,6 +139,8 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
     children.clear();
     for (const BeamState& state : beam) {
       ++nodes;
+      obs::emit_instant("node", "exact", "reason", "beam", "depth",
+                        static_cast<double>(depth));
       for (MachineId i = 0; i < m; ++i) {
         if (!inst.eligible(i, j)) continue;
         if (bounder && bounder->pair_fixed(j, i)) continue;
@@ -176,21 +184,24 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
                      });
     std::vector<BeamState> kept;
     kept.reserve(std::min(level_width, children.size()));
-    for (BeamState& child : children) {
-      bool redundant = false;
-      const std::size_t scan =
-          opt.dive_dominance_scan == 0
-              ? kept.size()
-              : std::min(kept.size(), opt.dive_dominance_scan);
-      for (std::size_t s = 0; s < scan && !redundant; ++s) {
-        redundant = dominated_by(kept[s], child);
+    {
+      const obs::PhaseTimer dom_timer(obs::Phase::kDominance);
+      for (BeamState& child : children) {
+        bool redundant = false;
+        const std::size_t scan =
+            opt.dive_dominance_scan == 0
+                ? kept.size()
+                : std::min(kept.size(), opt.dive_dominance_scan);
+        for (std::size_t s = 0; s < scan && !redundant; ++s) {
+          redundant = dominated_by(kept[s], child);
+        }
+        if (redundant) continue;
+        if (kept.size() >= level_width) {
+          truncated = true;
+          break;
+        }
+        kept.push_back(std::move(child));
       }
-      if (redundant) continue;
-      if (kept.size() >= level_width) {
-        truncated = true;
-        break;
-      }
-      kept.push_back(std::move(child));
     }
     beam = std::move(kept);
   }

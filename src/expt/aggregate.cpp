@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/format.h"
 #include "common/stats.h"
+#include "obs/phase.h"
 
 namespace setsched::expt {
 
@@ -25,6 +26,8 @@ struct Bucket {
   std::vector<double> lp_iterations;   // ok cells only
   std::vector<double> lp_dual_solves;  // ok cells only
   std::vector<double> fixed_vars;      // ok cells only
+  std::vector<double> lp_pct;          // ok cells with time_ms > 0
+  std::vector<double> pricing_pct;     // ok cells with time_ms > 0
   std::size_t proven = 0;             // ok cells certified optimal
   std::vector<double> gaps;           // ok cells with a certificate
 };
@@ -59,6 +62,11 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
         bucket.lp_dual_solves.push_back(
             static_cast<double>(r.lp_dual_solves));
         bucket.fixed_vars.push_back(static_cast<double>(r.fixed_vars));
+        if (r.time_ms > 0.0) {
+          bucket.lp_pct.push_back(100.0 * r.phase_ms.lp_ms() / r.time_ms);
+          bucket.pricing_pct.push_back(
+              100.0 * r.phase_ms[obs::Phase::kLpPricing] / r.time_ms);
+        }
         if (r.proven_optimal) ++bucket.proven;
         if (r.gap >= 0.0) bucket.gaps.push_back(r.gap);
         break;
@@ -94,6 +102,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
     s.lp_iterations_mean = mean(bucket.lp_iterations);
     s.lp_dual_solves_mean = mean(bucket.lp_dual_solves);
     s.fixed_vars_mean = mean(bucket.fixed_vars);
+    s.lp_pct_mean = mean(bucket.lp_pct);
+    s.pricing_pct_mean = mean(bucket.pricing_pct);
     s.proven = bucket.proven;
     s.certified = bucket.gaps.size();
     s.gap_mean = mean(bucket.gaps);
@@ -105,7 +115,8 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
 Table summary_table(std::span<const AggregateSummary> summaries) {
   Table table({"solver", "preset", "cells", "ok", "skipped", "failed",
                "proven", "gap_mean", "ratio_mean", "ratio_max", "time_p50_ms",
-               "time_p95_ms", "lp_solves", "lp_iters", "lp_dual", "fixed"});
+               "time_p95_ms", "lp_solves", "lp_iters", "lp_dual", "fixed",
+               "lp%", "pricing%"});
   for (const AggregateSummary& s : summaries) {
     table.row()
         .add(s.solver)
@@ -123,7 +134,9 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.lp_solves_mean, 1)
         .add(s.lp_iterations_mean, 1)
         .add(s.lp_dual_solves_mean, 1)
-        .add(s.fixed_vars_mean, 1);
+        .add(s.fixed_vars_mean, 1)
+        .add(s.lp_pct_mean, 1)
+        .add(s.pricing_pct_mean, 1);
   }
   return table;
 }
@@ -180,6 +193,10 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
     write_double(os, s.lp_dual_solves_mean);
     os << ", \"fixed_vars_mean\": ";
     write_double(os, s.fixed_vars_mean);
+    os << ", \"lp_pct_mean\": ";
+    write_double(os, s.lp_pct_mean);
+    os << ", \"pricing_pct_mean\": ";
+    write_double(os, s.pricing_pct_mean);
     os << "}";
   }
   os << "\n  ]\n}\n";

@@ -34,6 +34,11 @@ struct AggregateSummary {
   /// over the ok cells (the PR 5 LP-substrate effort counters).
   double lp_dual_solves_mean = 0.0;
   double fixed_vars_mean = 0.0;
+  /// Mean percent of a cell's wall clock spent in the LP substrate
+  /// (phase_ms["lp_solve"] / time_ms) resp. LP pricing passes, over the ok
+  /// cells with timing on (time_ms > 0). 0 when timing was off.
+  double lp_pct_mean = 0.0;
+  double pricing_pct_mean = 0.0;
   /// Ok cells whose schedule the solver certified optimal. Quality tables
   /// may only cite a bucket as ground truth when proven == ok.
   std::size_t proven = 0;

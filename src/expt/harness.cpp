@@ -13,6 +13,8 @@
 #include "common/timer.h"
 #include "core/bounds.h"
 #include "core/schedule.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched::expt {
 
@@ -61,9 +63,24 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
       record.status = RunStatus::kSkipped;
       return record;
     }
+    // One solve span per cell, named by the solver. Constructed only when a
+    // trace is live so the name-interning mutex is never touched otherwise.
+    std::optional<obs::TraceSpan> span;
+    if (obs::trace_enabled()) {
+      span.emplace(obs::intern(solver_name), "solve");
+      span->set_arg("preset", obs::intern(preset_name));
+      span->set_arg("seed", static_cast<double>(key.seed));
+    }
+    // Phase accounting is thread-local and cells run solvers single-threaded
+    // (context.pool == nullptr above), so the delta across solve() is the
+    // cell's complete breakdown.
+    const obs::PhaseTimes phases_before = obs::phase_snapshot();
     Timer timer;
     const ScheduleResult result = solver->solve(point.input, context);
-    if (plan.record_timing) record.time_ms = timer.elapsed_ms();
+    if (plan.record_timing) {
+      record.time_ms = timer.elapsed_ms();
+      record.phase_ms = obs::phase_snapshot() - phases_before;
+    }
     if (const auto error =
             schedule_error(point.input.instance, result.schedule)) {
       record.status = RunStatus::kInvalid;
@@ -101,6 +118,11 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
 
 std::vector<RunRecord> run_experiment(const ExperimentPlan& plan) {
   plan.validate();
+
+  // Phase timers ride the timing flag: --no-timing sweeps keep the LP hot
+  // loop free of clock reads (and their JSONL byte-identical with a
+  // SETSCHED_DISABLE_OBS build, which CI asserts).
+  obs::set_timing_enabled(plan.record_timing);
 
   // Private pool when the plan pins a thread count; the shared default pool
   // otherwise. threads == 1 bypasses pools entirely (exercised by the

@@ -12,7 +12,11 @@
 // Options: --epsilon=E --precision=P --time-limit=S
 //          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex
 //          --threads=N --no-timing --jsonl=PATH --csv=PATH --bench-json=PATH
-//          --quiet
+//          --trace=PATH --quiet
+//
+// --trace records a span trace of the whole sweep (per-cell solve spans over
+// named worker tracks, LP/search sub-spans, search-tree node instants) and
+// writes Chrome trace-event JSON loadable in chrome://tracing or Perfetto.
 // Flags override the corresponding plan-file keys.
 
 #include <exception>
@@ -30,6 +34,7 @@
 #include "expt/harness.h"
 #include "expt/plan.h"
 #include "expt/record_io.h"
+#include "obs/trace.h"
 
 namespace setsched::expt {
 namespace {
@@ -41,6 +46,7 @@ struct ExptOptions {
   std::string jsonl_path;
   std::string csv_path;
   std::string bench_json_path;
+  std::string trace_path;
 
   // Overrides applied on top of a plan file (only when given on the line).
   std::optional<std::string> presets, solvers, seeds, lp, lp_pricing;
@@ -57,6 +63,7 @@ void print_usage(std::ostream& os) {
      << "         [--lp=auto|tableau|revised|dual]\n"
      << "         [--lp-pricing=candidate|devex] [--threads=N] [--no-timing]\n"
      << "         [--quiet] [--jsonl=PATH] [--csv=PATH] [--bench-json=PATH]\n"
+     << "         [--trace=PATH]  (Chrome trace-event JSON of the sweep)\n"
      << "presets:";
   for (const std::string& preset : preset_names()) os << ' ' << preset;
   os << "\nsolvers:";
@@ -111,6 +118,8 @@ std::optional<ExptOptions> parse_args(int argc, char** argv) {
         options.csv_path = value;
       } else if (consume(arg, "--bench-json", &value)) {
         options.bench_json_path = value;
+      } else if (consume(arg, "--trace", &value)) {
+        options.trace_path = value;
       } else {
         std::cerr << "setsched_expt: unknown argument '" << arg << "'\n";
         return std::nullopt;
@@ -171,7 +180,13 @@ int expt_main(int argc, char** argv) {
                 << plan.num_seeds() << " seeds x " << plan.solvers.size()
                 << " solvers = " << plan.num_cells() << " cells\n";
     }
+    if (!options->trace_path.empty()) obs::start_trace();
     const std::vector<RunRecord> records = run_experiment(plan);
+    if (!options->trace_path.empty()) {
+      obs::stop_trace();
+      write_file(options->trace_path, "trace",
+                 [](std::ostream& os) { obs::write_chrome_trace(os); });
+    }
     const std::vector<AggregateSummary> summaries = aggregate(records);
 
     if (!options->jsonl_path.empty()) {

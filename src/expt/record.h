@@ -5,6 +5,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/phase.h"
+
 namespace setsched::expt {
 
 /// Outcome of one (instance, solver) cell of a sweep.
@@ -23,7 +25,7 @@ enum class RunStatus {
 /// One structured result row of an experiment sweep: the cell key
 /// (solver, preset, seed), the instance shape, the measured outcome, and an
 /// echo of the solver-context knobs so a record is self-describing. Streamed
-/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 25-key
+/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 26-key
 /// field-by-field schema is documented in docs/BENCH_SCHEMA.md.
 struct RunRecord {
   std::string solver;
@@ -41,6 +43,10 @@ struct RunRecord {
   double ratio = 0.0;        ///< makespan / lower_bound (1.0 when bound is 0)
   std::size_t setups = 0;    ///< total setups paid across machines
   double time_ms = 0.0;      ///< wall time of solve(); 0 when timing is off
+  /// Per-phase breakdown of time_ms (src/obs accounting); all zeros when
+  /// timing is off. The ONE optional JSONL key: lines written before the
+  /// observability PR parse with an empty breakdown.
+  obs::PhaseTimes phase_ms;
 
   // Solver-level effort counters (SolverStats echo; 0 for LP-free solvers),
   // so perf PRs can report simplex work, not just wall clock.

@@ -5,12 +5,14 @@
 #include <cstdio>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <utility>
 
 #include "common/check.h"
 #include "common/format.h"
+#include "obs/phase.h"
 
 namespace setsched::expt {
 
@@ -43,6 +45,22 @@ void write_json_string(std::ostream& os, std::string_view s) {
     }
   }
   os << '"';
+}
+
+/// Nested phase_ms object: non-zero phases only, in enum order, so records
+/// from solvers without phase accounting stay compact ("phase_ms":{}).
+void write_phase_object(std::ostream& os, const obs::PhaseTimes& phases) {
+  os << '{';
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const double v = phases.ms[i];
+    if (v == 0.0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << obs::phase_name(static_cast<obs::Phase>(i)) << "\":";
+    write_double(os, v);
+  }
+  os << '}';
 }
 
 // --- reading ---------------------------------------------------------------
@@ -159,7 +177,10 @@ bool to_bool(std::string_view token, const LineParser& p) {
 RunRecord parse_record_line(std::string_view line) {
   LineParser p{line};
   RunRecord r;
-  // Bitmask of the 25 required keys, in write_jsonl() order.
+  // Bitmask of the keys, in write_jsonl() order. Bits 0-24 are the required
+  // keys; bit 25 (phase_ms) is OPTIONAL on read — lines written before the
+  // observability PR parse with an empty breakdown — and the bit only guards
+  // against duplicates.
   unsigned seen = 0;
   const auto mark = [&](unsigned bit) {
     if (seen & (1u << bit)) p.fail("duplicate key");
@@ -199,6 +220,23 @@ RunRecord parse_record_line(std::string_view line) {
       mark(11), r.setups = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "time_ms") {
       mark(12), r.time_ms = to_double(p.parse_number_token(), p);
+    } else if (key == "phase_ms") {
+      mark(25);
+      p.expect('{');
+      if (p.peek() != '}') {
+        while (true) {
+          const std::string name = p.parse_string();
+          p.expect(':');
+          obs::Phase phase;
+          if (!obs::phase_from_name(name, &phase)) {
+            p.fail("unknown phase '" + name + "'");
+          }
+          r.phase_ms[phase] = to_double(p.parse_number_token(), p);
+          if (p.peek() != ',') break;
+          p.expect(',');
+        }
+      }
+      p.expect('}');
     } else if (key == "lp_solves") {
       mark(13), r.lp_solves = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "lp_iterations") {
@@ -233,7 +271,7 @@ RunRecord parse_record_line(std::string_view line) {
   }
   p.expect('}');
   if (!p.at_end()) p.fail("trailing content");
-  if (seen != (1u << 25) - 1) p.fail("missing keys");
+  if ((seen & ((1u << 25) - 1)) != (1u << 25) - 1) p.fail("missing keys");
   return r;
 }
 
@@ -293,6 +331,8 @@ void write_jsonl(std::ostream& os, const RunRecord& r) {
   os << ",\"setups\":" << r.setups;
   os << ",\"time_ms\":";
   write_double(os, r.time_ms);
+  os << ",\"phase_ms\":";
+  write_phase_object(os, r.phase_ms);
   os << ",\"lp_solves\":" << r.lp_solves;
   os << ",\"lp_iterations\":" << r.lp_iterations;
   os << ",\"lp_dual_solves\":" << r.lp_dual_solves;
@@ -333,7 +373,7 @@ std::vector<RunRecord> read_jsonl(std::istream& is) {
 
 void write_csv(std::ostream& os, std::span<const RunRecord> records) {
   os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
-        "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,"
+        "lower_bound,ratio,setups,time_ms,phase_ms,lp_solves,lp_iterations,"
         "lp_dual_solves,fixed_vars,nodes,"
         "lp_bounds_used,proven_optimal,gap,epsilon,precision,time_limit_s,"
         "error\n";
@@ -351,6 +391,22 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
     write_double(os, r.ratio);
     os << ',' << r.setups << ',';
     write_double(os, r.time_ms);
+    os << ',';
+    // Compact semicolon-separated breakdown ("lp_solve:1.5;dive:3") — no
+    // commas, so the field never needs CSV quoting.
+    {
+      std::ostringstream phases;
+      bool first = true;
+      for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+        const double v = r.phase_ms.ms[i];
+        if (v == 0.0) continue;
+        if (!first) phases << ';';
+        first = false;
+        phases << obs::phase_name(static_cast<obs::Phase>(i)) << ':';
+        write_double(phases, v);
+      }
+      write_csv_field(os, phases.str());
+    }
     os << ',' << r.lp_solves << ',' << r.lp_iterations << ','
        << r.lp_dual_solves << ',' << r.fixed_vars << ',' << r.nodes
        << ',' << r.lp_bounds_used << ','

@@ -31,6 +31,8 @@
 #include "common/check.h"
 #include "lp/revised_impl.h"
 #include "lp/simplex.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched::lp {
 
@@ -281,6 +283,7 @@ bool RevisedSolver::try_factorize() {
 }
 
 void RevisedSolver::factorize() {
+  const obs::PhaseTimer timer(obs::Phase::kLpFactor);
   factor_repaired_ = false;
   for (std::size_t attempt = 0; attempt <= nrows_ + 1; ++attempt) {
     if (try_factorize()) return;
@@ -289,6 +292,7 @@ void RevisedSolver::factorize() {
 }
 
 void RevisedSolver::ftran(std::vector<double>& slots) {
+  const obs::PhaseTimer timer(obs::Phase::kLpFtran);
   // Solve B z = work_rows_ into `slots` (position space); zeroes work_rows_.
   std::vector<double>& w = work_rows_;
   for (std::size_t k = 0; k < nrows_; ++k) {
@@ -319,6 +323,7 @@ void RevisedSolver::ftran(std::vector<double>& slots) {
 
 void RevisedSolver::btran(std::vector<double>& slots,
                           std::vector<double>& rows_out) {
+  const obs::PhaseTimer timer(obs::Phase::kLpBtran);
   // Solve B^T y = `slots` (costs per slot); the result lands in `rows_out`.
   for (std::size_t i = etas_.size(); i-- > 0;) {
     const Eta& e = etas_[i];
@@ -461,6 +466,7 @@ std::size_t RevisedSolver::price_devex(bool phase1) {
 }
 
 std::size_t RevisedSolver::price(bool phase1) {
+  const obs::PhaseTimer timer(obs::Phase::kLpPricing);
   if (use_bland_) return full_scan(phase1, /*bland=*/true);
   if (opt_.pricing == SimplexPricing::kDevex) return price_devex(phase1);
   // Minor pass over the candidate list with fresh reduced costs; fall back
@@ -804,6 +810,7 @@ Solution RevisedSolver::run() {
     const bool worth_it =
         primal_infeasible || opt_.algorithm == SimplexAlgorithm::kDual;
     if (worth_it && dual_feasible(std::max(opt_.opt_tol * 100, 1e-7))) {
+      const obs::PhaseTimer dual_timer(obs::Phase::kLpDual);
       switch (run_dual()) {
         case DualOutcome::kOptimal:
           via_dual_ = true;
@@ -819,6 +826,7 @@ Solution RevisedSolver::run() {
     }
   }
 
+  const obs::PhaseTimer primal_timer(obs::Phase::kLpPrimal);
   return run_primal();
 }
 
@@ -827,8 +835,12 @@ Solution RevisedSolver::run() {
 Solution solve_revised(const Model& model, const SimplexOptions& options) {
   check(model.num_constraints() > 0, "LP needs at least one constraint");
   check(model.num_variables() > 0, "LP needs at least one variable");
+  const obs::PhaseTimer timer(obs::Phase::kLpSolve);
+  obs::TraceSpan span("lp_solve", "lp");
   internal::RevisedSolver solver(model, options);
-  return solver.run();
+  Solution sol = solver.run();
+  span.set_arg("iterations", static_cast<double>(sol.iterations));
+  return sol;
 }
 
 }  // namespace setsched::lp

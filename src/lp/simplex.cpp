@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/matrix.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 
 namespace setsched::lp {
 
@@ -457,8 +459,12 @@ Solution Tableau::run() {
 Solution solve_tableau(const Model& model, const SimplexOptions& options) {
   check(model.num_constraints() > 0, "LP needs at least one constraint");
   check(model.num_variables() > 0, "LP needs at least one variable");
+  const obs::PhaseTimer timer(obs::Phase::kLpSolve);
+  obs::TraceSpan span("lp_solve", "lp");
   Tableau tableau(model, options);
-  return tableau.run();
+  Solution sol = tableau.run();
+  span.set_arg("iterations", static_cast<double>(sol.iterations));
+  return sol;
 }
 
 Solution solve(const Model& model, const SimplexOptions& options) {

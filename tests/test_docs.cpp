@@ -16,6 +16,7 @@
 #include "api/presets.h"
 #include "api/registry.h"
 #include "expt/record_io.h"
+#include "obs/phase.h"
 
 namespace setsched {
 namespace {
@@ -109,13 +110,29 @@ TEST(Docs, BenchSchemaDocumentsEveryJsonlKey) {
     EXPECT_NE(schema.find("`" + token + "`"), std::string::npos)
         << "JSONL key '" << token << "' is not documented in BENCH_SCHEMA.md";
   }
-  EXPECT_EQ(keys, 25u) << "RunRecord schema size changed; update "
+  EXPECT_EQ(keys, 26u) << "RunRecord schema size changed; update "
                           "docs/BENCH_SCHEMA.md and this pin";
+
+  // The nested phase_ms keys are elided when zero, so the default record
+  // above never exercises them: emit one record with every phase non-zero
+  // and require each phase name to be documented too.
+  expt::RunRecord traced;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    traced.phase_ms[static_cast<obs::Phase>(i)] = 1.0;
+  }
+  std::ostringstream traced_row;
+  expt::write_jsonl(traced_row, traced);
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const std::string name(obs::phase_name(static_cast<obs::Phase>(i)));
+    EXPECT_NE(traced_row.str().find("\"" + name + "\":"), std::string::npos);
+    EXPECT_NE(schema.find("`" + name + "`"), std::string::npos)
+        << "phase '" << name << "' is not documented in BENCH_SCHEMA.md";
+  }
 }
 
 TEST(Docs, CorePagesExistAndAreNonTrivial) {
-  for (const char* name :
-       {"ARCHITECTURE.md", "LP.md", "SOLVERS.md", "BENCH_SCHEMA.md"}) {
+  for (const char* name : {"ARCHITECTURE.md", "LP.md", "SOLVERS.md",
+                           "BENCH_SCHEMA.md", "OBSERVABILITY.md"}) {
     const std::string doc = read_doc(name);
     EXPECT_GT(doc.size(), 1000u) << name << " looks like a stub";
   }
@@ -124,7 +141,7 @@ TEST(Docs, CorePagesExistAndAreNonTrivial) {
   for (const char* subsystem :
        {"src/common", "src/core", "src/lp", "src/unrelated", "src/colgen",
         "src/restricted", "src/uniform", "src/setcover", "src/improve",
-        "src/exact", "src/api", "src/expt"}) {
+        "src/exact", "src/api", "src/expt", "src/obs"}) {
     EXPECT_NE(arch.find(subsystem), std::string::npos)
         << "ARCHITECTURE.md does not mention " << subsystem;
   }

@@ -11,6 +11,7 @@
 #include "expt/harness.h"
 #include "expt/plan.h"
 #include "expt/record_io.h"
+#include "obs/phase.h"
 
 namespace setsched::expt {
 namespace {
@@ -145,6 +146,9 @@ RunRecord sample_record() {
   r.ratio = r.makespan / r.lower_bound;
   r.setups = 9;
   r.time_ms = 0.125;
+  r.phase_ms[obs::Phase::kLpSolve] = 0.0625;
+  r.phase_ms[obs::Phase::kLpPricing] = 0.03125;
+  r.phase_ms[obs::Phase::kProve] = 0.015625;
   r.lp_solves = 7;
   r.lp_iterations = 431;
   r.lp_dual_solves = 4;
@@ -172,6 +176,28 @@ TEST(ExptRecordIo, JsonlRoundTripIsExact) {
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[0], records[0]);
   EXPECT_EQ(back[1], records[1]);
+}
+
+// Lines written before the observability PR carry no phase_ms key; they must
+// parse with an empty breakdown (phase_ms is the one optional key).
+TEST(ExptRecordIo, ReadAcceptsLegacyLinesWithoutPhaseMs) {
+  std::stringstream stream;
+  write_jsonl(stream, sample_record());
+  std::string line = stream.str();
+  const std::size_t at = line.find(",\"phase_ms\":{");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = line.find('}', at);
+  ASSERT_NE(end, std::string::npos);
+  line.erase(at, end + 1 - at);
+  EXPECT_EQ(line.find("phase_ms"), std::string::npos);
+
+  std::istringstream legacy(line);
+  const std::vector<RunRecord> back = read_jsonl(legacy);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0].phase_ms.empty());
+  RunRecord expected = sample_record();
+  expected.phase_ms = obs::PhaseTimes{};
+  EXPECT_EQ(back[0], expected);
 }
 
 TEST(ExptRecordIo, ReadAcceptsBlankLinesAndAnyKeyOrder) {
@@ -218,10 +244,13 @@ TEST(ExptRecordIo, CsvHeaderAndQuoting) {
   const std::string out = os.str();
   EXPECT_EQ(out.substr(0, out.find('\n')),
             "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
-            "lower_bound,ratio,setups,time_ms,lp_solves,lp_iterations,"
-            "lp_dual_solves,fixed_vars,nodes,lp_bounds_used,proven_optimal,"
-            "gap,epsilon,precision,time_limit_s,error");
+            "lower_bound,ratio,setups,time_ms,phase_ms,lp_solves,"
+            "lp_iterations,lp_dual_solves,fixed_vars,nodes,lp_bounds_used,"
+            "proven_optimal,gap,epsilon,precision,time_limit_s,error");
   EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
+  // Compact semicolon-separated breakdown, never CSV-quoted.
+  EXPECT_NE(out.find("lp_solve:0.0625;lp_pricing:0.03125;prove:0.015625"),
+            std::string::npos);
 }
 
 // --- harness ---------------------------------------------------------------
@@ -350,17 +379,27 @@ RunRecord bucket_record(const std::string& solver, const std::string& preset,
   return r;
 }
 
+RunRecord with_phases(RunRecord r, double lp_solve_ms, double pricing_ms) {
+  r.phase_ms[obs::Phase::kLpSolve] = lp_solve_ms;
+  r.phase_ms[obs::Phase::kLpPricing] = pricing_ms;
+  return r;
+}
+
 TEST(ExptAggregate, MatchesHandComputedFixture) {
   const std::vector<RunRecord> records{
       // zeta/p1: ratios {1.0, 1.5, 2.0}, times {10, 20, 30}, lp solves
       // {8, 6, 10} and iterations {400, 200, 600}, 1 skip, 1 error.
       // Certificates: one proven optimum (gap 0), one budget-exhausted run
       // (gap 0.25), one heuristic cell (no certificate, gap -1).
-      bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0, 8, 400, true,
-                    0.0),
-      bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0, 6, 200, false,
-                    0.25),
-      bucket_record("zeta", "p1", RunStatus::kOk, 2.0, 30.0, 10, 600),
+      with_phases(bucket_record("zeta", "p1", RunStatus::kOk, 1.5, 20.0, 8,
+                                400, true, 0.0),
+                  10.0, 4.0),
+      with_phases(bucket_record("zeta", "p1", RunStatus::kOk, 1.0, 10.0, 6,
+                                200, false, 0.25),
+                  2.0, 2.0),
+      with_phases(bucket_record("zeta", "p1", RunStatus::kOk, 2.0, 30.0, 10,
+                                600),
+                  15.0, 6.0),
       bucket_record("zeta", "p1", RunStatus::kSkipped, 0.0, 0.0),
       bucket_record("zeta", "p1", RunStatus::kError, 0.0, 0.0),
       // alpha/p2: every cell failed -> zeroed statistics, not UB or a throw.
@@ -412,6 +451,12 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
   EXPECT_EQ(summaries[0].proven, 0u);
   EXPECT_EQ(summaries[0].certified, 0u);
   EXPECT_DOUBLE_EQ(summaries[0].gap_mean, 0.0);
+  // Phase shares: lp% over zeta/p1 is mean{10/20, 2/10, 15/30} = 40%,
+  // pricing% is mean{4/20, 2/10, 6/30} = 20%. alpha/p1 carries no phase
+  // accounting -> 0.
+  EXPECT_DOUBLE_EQ(summaries[2].lp_pct_mean, 40.0);
+  EXPECT_DOUBLE_EQ(summaries[2].pricing_pct_mean, 20.0);
+  EXPECT_DOUBLE_EQ(summaries[0].lp_pct_mean, 0.0);
 }
 
 TEST(ExptAggregate, SummaryTableHasOneRowPerBucket) {
@@ -449,6 +494,8 @@ TEST(ExptAggregate, BenchJsonContainsPlanCountsAndSummaries) {
   EXPECT_NE(out.find("\"proven\""), std::string::npos);
   EXPECT_NE(out.find("\"certified\""), std::string::npos);
   EXPECT_NE(out.find("\"gap_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_pct_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"pricing_pct_mean\""), std::string::npos);
   EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
             std::count(out.begin(), out.end(), '}'));
 }
