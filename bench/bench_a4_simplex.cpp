@@ -97,8 +97,13 @@ BENCHMARK(BM_AssignmentLp)
 
 /// The exact solver's per-node workload: ONE min-makespan relaxation,
 /// re-optimized under a rolling chain of pin/unpin mutations. Args: (jobs,
-/// algorithm_options code) — code 3 (dual-preferring) is what LpBounder
-/// runs; code 1 approximates the PR 4 behavior (primal re-optimization).
+/// algorithm_options code, guard, incremental_duals) — code 3
+/// (dual-preferring) is what LpBounder runs; code 1 approximates the PR 4
+/// behavior (primal re-optimization). guard=1 runs the post-solve residual
+/// audit on every probe (LpBounder's configuration; guard=0 quantifies the
+/// disarmed safety net, which must be free). incremental_duals=0 recomputes
+/// the duals with one BTRAN per dual pivot instead of the drift-guarded
+/// y -= theta_d * rho update.
 void BM_MakespanLpPinChain(benchmark::State& state) {
   UnrelatedGenParams p;
   p.num_jobs = static_cast<std::size_t>(state.range(0));
@@ -110,6 +115,8 @@ void BM_MakespanLpPinChain(benchmark::State& state) {
   AssignmentLpOptions options;
   options.makespan_objective = true;
   options.simplex = algorithm_options(state.range(1));
+  options.simplex.guard = state.range(2) != 0;
+  options.simplex.incremental_duals = state.range(3) != 0;
   // Pin targets must be pairs the model actually carries — eligible AND
   // within the proc <= T_build filter — or run_solve short-circuits on
   // impossible_pins_ and the benchmark times an early return instead of
@@ -139,7 +146,11 @@ void BM_MakespanLpPinChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MakespanLpPinChain)
-    ->Args({32, 1})->Args({32, 3})->Args({64, 1})->Args({64, 3});
+    ->Args({32, 1, 0, 1})->Args({32, 3, 0, 1})
+    ->Args({64, 1, 0, 1})->Args({64, 3, 0, 1})
+    // Safety-net cost on the LpBounder configuration: audited every probe
+    // vs disarmed, and the incremental dual update vs per-pivot BTRAN.
+    ->Args({64, 3, 1, 1})->Args({64, 3, 0, 0});
 
 /// The geometric T-search solved the pre-PR-3 way: a fresh model and a cold
 /// revised solve per probe (no warm starting, no re-parameterization).

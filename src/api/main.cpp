@@ -9,6 +9,7 @@
 //                [--no-timing]
 //
 // Options: --seed=N --epsilon=E --precision=P --time-limit=S
+//          --inject=SPEC --lp-audit-interval=N
 //          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex --csv
 //          --trace=PATH (Chrome trace-event JSON of the run; both modes)
 // Presets: uniform-small uniform-large unrelated-small unrelated-medium
@@ -37,6 +38,7 @@
 #include "expt/harness.h"
 #include "expt/plan.h"
 #include "expt/record_io.h"
+#include "lp/fault.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 
@@ -52,6 +54,10 @@ struct CliOptions {
   std::string preset;
   std::uint64_t seed = 1;
   SolverContext context;
+  /// LP fault-injection spec (lp::FaultPlan::parse syntax); seeded from
+  /// --seed in single-run mode, per cell_seed in --batch mode. Empty = off.
+  std::string inject;
+  std::size_t lp_audit_interval = 0;
   // --batch sweep mode (delegates to the src/expt harness).
   bool batch = false;
   std::string seeds;  // "N" or "A..B"; empty means the single --seed
@@ -68,6 +74,7 @@ void print_usage(std::ostream& os) {
      << "                    [--seed=N] [--epsilon=E] [--precision=P]\n"
      << "                    [--time-limit=S] [--lp=auto|tableau|revised|dual]\n"
      << "                    [--lp-pricing=candidate|devex] [--csv]\n"
+     << "                    [--inject=SPEC] [--lp-audit-interval=N]\n"
      << "                    [--trace=PATH]\n"
      << "       setsched_cli --batch (--solver=<name> ... | --all)\n"
      << "                    --generate=<preset,...> [--seeds=N | --seeds=A..B]\n"
@@ -123,8 +130,13 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         options.context.precision = std::stod(value);
       } else if (consume(arg, "--time-limit", &value)) {
         options.context.time_limit_s = std::stod(value);
+      } else if (consume(arg, "--inject", &value)) {
+        options.inject = value;
       } else if (consume(arg, "--lp-pricing", &value)) {
         options.context.lp_pricing = expt::lp_pricing_from_name(value);
+      } else if (consume(arg, "--lp-audit-interval", &value)) {
+        options.lp_audit_interval =
+            static_cast<std::size_t>(expt::parse_u64(value, "lp_audit_interval"));
       } else if (consume(arg, "--lp", &value)) {
         options.context.lp_algorithm = expt::lp_algorithm_from_name(value);
       } else {
@@ -231,6 +243,10 @@ int run(const CliOptions& options) {
 
   std::vector<RunOutcome> outcomes(names.size());
   SolverContext context = options.context;
+  context.lp_audit_interval = options.lp_audit_interval;
+  if (!options.inject.empty()) {
+    context.fault_plan = lp::FaultPlan::parse(options.inject, options.seed);
+  }
   if (options.all && names.size() > 1) {
     // One solver per pool task; solvers must not nest into the same pool.
     context.pool = nullptr;
@@ -312,6 +328,8 @@ int run_batch(const CliOptions& options) {
   plan.time_limit_s = options.context.time_limit_s;
   plan.lp_algorithm = options.context.lp_algorithm;
   plan.lp_pricing = options.context.lp_pricing;
+  plan.inject = options.inject;
+  plan.lp_audit_interval = options.lp_audit_interval;
   plan.threads = options.threads;
   plan.record_timing = options.record_timing;
   plan.validate();

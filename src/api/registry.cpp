@@ -80,6 +80,9 @@ SolverStats exact_stats(const ExactResult& result) {
   stats.nodes = result.nodes;
   stats.lp_bounds_used = result.lp_bounds_used;
   stats.fixed_vars = result.fixed_vars;
+  stats.lp_audits_suspect = result.lp_audits_suspect;
+  stats.lp_recoveries = result.lp_recoveries;
+  stats.lp_oracle_fallbacks = result.lp_oracle_fallbacks;
   stats.proven_optimal = result.proven_optimal;
   stats.gap = result.gap;
   return stats;
@@ -90,7 +93,21 @@ SolverStats rounding_stats(const RoundingResult& result) {
   stats.lp_solves = result.lp_solves;
   stats.lp_iterations = result.lp_iterations;
   stats.lp_dual_solves = result.lp_dual_solves;
+  stats.lp_audits_suspect = result.lp_audits_suspect;
+  stats.lp_recoveries = result.lp_recoveries;
+  stats.lp_oracle_fallbacks = result.lp_oracle_fallbacks;
   return stats;
+}
+
+/// Fault injection without the audit guard would just propagate corruption;
+/// arming the plan therefore forces the warm-chain audit cadence to "every
+/// solve" no matter what the caller configured.
+std::size_t effective_audit_interval(const SolverContext& context) {
+  return context.fault_plan.any() ? 1 : context.lp_audit_interval;
+}
+
+const lp::FaultPlan* armed_plan(const SolverContext& context) {
+  return context.fault_plan.any() ? &context.fault_plan : nullptr;
 }
 
 RoundingOptions rounding_options(const SolverContext& context) {
@@ -99,6 +116,8 @@ RoundingOptions rounding_options(const SolverContext& context) {
   options.search_precision = context.precision;
   options.lp.simplex.algorithm = context.lp_algorithm;
   options.lp.simplex.pricing = context.lp_pricing;
+  options.lp.simplex.fault_plan = armed_plan(context);
+  options.lp.audit_interval = effective_audit_interval(context);
   options.pool = context.pool;
   return options;
 }
@@ -150,6 +169,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         AssignmentLpOptions options;
         options.simplex.algorithm = context.lp_algorithm;
         options.simplex.pricing = context.lp_pricing;
+        options.simplex.fault_plan = armed_plan(context);
+        options.audit_interval = effective_audit_interval(context);
         ScheduleResult result =
             argmax_rounding(input.instance, context.precision, options);
         return finish(input.instance, std::move(result.schedule),
@@ -168,6 +189,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         config.pool = context.pool;
         config.simplex.algorithm = context.lp_algorithm;
         config.simplex.pricing = context.lp_pricing;
+        config.simplex.fault_plan = armed_plan(context);
+        config.simplex.guard = effective_audit_interval(context) > 0;
         const RoundingResult result = randomized_rounding_config(
             input.instance, rounding_options(context), config);
         return finish(input.instance, result.schedule,
@@ -180,6 +203,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         lp::SimplexOptions simplex;
         simplex.algorithm = context.lp_algorithm;
         simplex.pricing = context.lp_pricing;
+        simplex.fault_plan = armed_plan(context);
+        simplex.guard = effective_audit_interval(context) > 0;
         const ConstantApproxResult result =
             two_approx_restricted(input.instance, context.precision, simplex);
         SolverStats stats;
@@ -192,6 +217,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         lp::SimplexOptions simplex;
         simplex.algorithm = context.lp_algorithm;
         simplex.pricing = context.lp_pricing;
+        simplex.fault_plan = armed_plan(context);
+        simplex.guard = effective_audit_interval(context) > 0;
         const ConstantApproxResult result = three_approx_class_uniform(
             input.instance, context.precision, simplex);
         SolverStats stats;
@@ -208,6 +235,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         options.initial_upper_bound = unrelated_upper_bound(input.instance);
         options.lp_algorithm = context.lp_algorithm;
         options.lp_pricing = context.lp_pricing;
+        options.fault_plan = armed_plan(context);
+        options.deadline = context.deadline;
         const ExactResult result = solve_exact(input.instance, options);
         return finish(input.instance, result.schedule, exact_stats(result));
       });
@@ -219,6 +248,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         options.initial_upper_bound = unrelated_upper_bound(input.instance);
         options.lp_algorithm = context.lp_algorithm;
         options.lp_pricing = context.lp_pricing;
+        options.fault_plan = armed_plan(context);
+        options.deadline = context.deadline;
         const ExactResult result = solve_exact(input.instance, options);
         return finish(input.instance, result.schedule, exact_stats(result));
       });
@@ -230,6 +261,8 @@ void register_builtin_solvers(SolverRegistry& registry) {
         options.initial_upper_bound = unrelated_upper_bound(input.instance);
         options.lp_algorithm = context.lp_algorithm;
         options.lp_pricing = context.lp_pricing;
+        options.fault_plan = armed_plan(context);
+        options.deadline = context.deadline;
         const ExactResult result = solve_exact(input.instance, options);
         return finish(input.instance, result.schedule, exact_stats(result));
       });

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -7,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/instance.h"
 #include "core/result.h"
+#include "lp/fault.h"
 #include "lp/simplex.h"
 
 namespace setsched {
@@ -46,6 +48,19 @@ struct SolverContext {
   /// Optional pool for intra-solver parallelism (rounding trials, colgen
   /// pricing). Null means sequential.
   ThreadPool* pool = nullptr;
+  /// Deterministic LP fault-injection plan (lp/fault.h; CLI --inject).
+  /// Disarmed by default; when armed, every LP-backed solver routes it into
+  /// its simplex solves and enables the residual-audit guard so the
+  /// injected corruption is caught and recovered instead of propagated.
+  lp::FaultPlan fault_plan;
+  /// Residual-audit cadence for the approximation pipelines' warm LP chains
+  /// (every Nth solve audited; 0 = off). The exact solvers' bound probes are
+  /// always audited regardless. Forced to 1 while fault_plan is armed.
+  std::size_t lp_audit_interval = 0;
+  /// Optional hard wall-clock deadline (harness watchdog): search-based
+  /// solvers abort their budget when the steady clock passes it, bounding a
+  /// whole solve call — including setup phases — to the cell's time slot.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Polymorphic facade over the algorithm zoo. Implementations are stateless:

@@ -26,6 +26,15 @@ struct SolverStats {
   /// Job-machine variables excluded by reduced-cost fixing at search nodes
   /// (exact solvers with LP bounds; 0 elsewhere).
   std::size_t fixed_vars = 0;
+  /// LP guard (lp/guard.h): post-solve residual audits that contested a
+  /// solve (verdict suspect or failed). 0 when the guard is off.
+  std::size_t lp_audits_suspect = 0;
+  /// LP guard: contested solves recovered by the escalation ladder's
+  /// refactorize-warm / cold re-solve rungs.
+  std::size_t lp_recoveries = 0;
+  /// LP guard: contested solves escalated all the way to the dense tableau
+  /// oracle (the ladder's last rung).
+  std::size_t lp_oracle_fallbacks = 0;
   /// True only when the solver certified its schedule optimal. A search
   /// solver that ran out of budget MUST leave this false — consumers treat
   /// proven results as ground truth.

@@ -63,6 +63,7 @@ class ProveSolver {
       lp::SimplexOptions simplex;
       simplex.algorithm = opt_.lp_algorithm;
       simplex.pricing = opt_.lp_pricing;
+      simplex.fault_plan = opt_.fault_plan;
       bounder_.emplace(inst_, prune_at_, simplex);
       if (bounder_->available()) {
         lower_bound_ = std::max(
@@ -104,6 +105,9 @@ class ProveSolver {
       out.lp_dual_solves = bounder_->dual_solves();
       out.lp_iterations = bounder_->iterations();
       out.fixed_vars = bounder_->fixed_vars();
+      out.lp_audits_suspect = bounder_->audits_suspect();
+      out.lp_recoveries = bounder_->recoveries();
+      out.lp_oracle_fallbacks = bounder_->oracle_fallbacks();
     }
     exact::certify(&out, lower_bound_, !aborted_);
     return out;
@@ -133,9 +137,14 @@ class ProveSolver {
   /// actually attempted.
   [[nodiscard]] bool hit_budget() {
     if (nodes_ >= opt_.max_nodes) return true;
-    if ((nodes_ & 0x3F) == 0 &&
-        timer_.elapsed_seconds() > opt_.time_limit_s) {
-      return true;
+    if ((nodes_ & 0x3F) == 0) {
+      if (timer_.elapsed_seconds() > opt_.time_limit_s) return true;
+      // Harness watchdog: the absolute deadline bounds the whole call, so a
+      // cell cannot run away past its wall-clock slot.
+      if (opt_.deadline &&
+          std::chrono::steady_clock::now() > *opt_.deadline) {
+        return true;
+      }
     }
     return false;
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 
@@ -38,6 +39,13 @@ struct ExactOptions {
   std::size_t max_nodes = 200'000'000;
   /// Wall-clock budget in seconds (checked coarsely).
   double time_limit_s = 60.0;
+  /// Optional hard wall-clock deadline (absolute, steady clock), checked at
+  /// the same coarse cadence as time_limit_s. Unlike time_limit_s — which is
+  /// relative to each phase's own start — the deadline bounds the whole call
+  /// including root-bound setup and the dive phase of a chain, which is what
+  /// the experiment harness's per-cell watchdog needs. Exceeding it is a
+  /// budget abort: the incumbent is returned with proven_optimal false.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Optional initial upper bound, INCLUSIVE, honored by EVERY mode (the
   /// PR 5 dive silently ignored it, breaking the option's contract): the
   /// caller promises some schedule of makespan <= this value exists, and a
@@ -96,6 +104,11 @@ struct ExactOptions {
   /// probes run the dual simplex, which always uses Devex row weights;
   /// this only affects primal fallbacks).
   lp::SimplexPricing lp_pricing = lp::SimplexPricing::kCandidate;
+  /// Deterministic fault-injection plan threaded into every LP-bound solve
+  /// (lp/fault.h); null = no injection. The bounder's residual audits and
+  /// safe-pruning demotions are active regardless, so injected runs stay
+  /// sound — they just burn recoveries and prune less.
+  const lp::FaultPlan* fault_plan = nullptr;
 };
 
 /// Result contract of the exact subsystem. `proven_optimal` distinguishes
@@ -125,6 +138,10 @@ struct ExactResult {
   /// Job-machine pairs excluded by reduced-cost fixing (cumulative across
   /// the search; subtree-local fixes count once per application).
   std::size_t fixed_vars = 0;
+  /// LP guard counters across all probes (see SolverStats for semantics).
+  std::size_t lp_audits_suspect = 0;
+  std::size_t lp_recoveries = 0;
+  std::size_t lp_oracle_fallbacks = 0;
 };
 
 /// Exact / ground-truth solver over job -> machine assignments.

@@ -43,6 +43,9 @@ ExactResult dive_then_prove(const Instance& inst, const ExactOptions& opt) {
   out.lp_dual_solves += dive.lp_dual_solves;
   out.lp_iterations += dive.lp_iterations;
   out.fixed_vars += dive.fixed_vars;
+  out.lp_audits_suspect += dive.lp_audits_suspect;
+  out.lp_recoveries += dive.lp_recoveries;
+  out.lp_oracle_fallbacks += dive.lp_oracle_fallbacks;
   if (!out.proven_optimal && dive.lower_bound > out.lower_bound) {
     certify(&out, dive.lower_bound, /*search_complete=*/false);
   }

@@ -1,6 +1,7 @@
 #include "exact/dive.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -92,6 +93,7 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
     lp::SimplexOptions simplex;
     simplex.algorithm = opt.lp_algorithm;
     simplex.pricing = opt.lp_pricing;
+    simplex.fault_plan = opt.fault_plan;
     bounder.emplace(inst, prune_at, simplex);
     if (bounder->available()) {
       lower_bound = std::max(
@@ -125,7 +127,8 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
     // Time-boxed: once a budget runs out the beam collapses to a greedy
     // descent so a complete schedule is still reached quickly.
     std::size_t level_width = width;
-    if (timer.elapsed_seconds() > opt.time_limit_s || nodes >= opt.max_nodes) {
+    if (timer.elapsed_seconds() > opt.time_limit_s || nodes >= opt.max_nodes ||
+        (opt.deadline && std::chrono::steady_clock::now() > *opt.deadline)) {
       level_width = 1;
       truncated = true;
     }
@@ -221,6 +224,9 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
     out.lp_dual_solves = bounder->dual_solves();
     out.lp_iterations = bounder->iterations();
     out.fixed_vars = bounder->fixed_vars();
+    out.lp_audits_suspect = bounder->audits_suspect();
+    out.lp_recoveries = bounder->recoveries();
+    out.lp_oracle_fallbacks = bounder->oracle_fallbacks();
   }
   // If no state was ever dropped for width or time, the beam covered every
   // state that could beat the incumbent/cutoff (up to sound symmetry/

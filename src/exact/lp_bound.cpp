@@ -10,6 +10,11 @@ LpBounder::LpBounder(const Instance& instance, double T_build,
   if (T_build <= 0.0) return;
   AssignmentLpOptions options;
   options.makespan_objective = true;
+  // Every bound the search prunes or fixes against must survive a residual
+  // audit (lp/guard.h); the escalation ladder absorbs suspect solves and
+  // feasible()/root_lower_bound() demote whatever still comes back
+  // contested.
+  options.audit_interval = 1;
   options.simplex = simplex;
   if (options.simplex.algorithm == lp::SimplexAlgorithm::kAuto) {
     // The min-T objective is all-nonnegative, so every basis is
@@ -22,7 +27,12 @@ LpBounder::LpBounder(const Instance& instance, double T_build,
 
 bool LpBounder::feasible(double T) {
   if (!lp_) return true;  // no bounder, no pruning
-  return lp_->feasible(T);
+  const bool feasible = lp_->feasible(T);
+  // Safe pruning: an "infeasible at T" (or "bound above T") answer whose
+  // audit stayed contested after the full recovery ladder is demoted to "no
+  // bound" — the node is searched, never pruned on corrupted numerics.
+  if (!feasible && last_contested()) return true;
+  return feasible;
 }
 
 double LpBounder::root_lower_bound(double lo, double hi,
@@ -31,6 +41,9 @@ double LpBounder::root_lower_bound(double lo, double hi,
   if (!lp_ || hi <= 0.0 || lo >= hi) return lo;
   const std::optional<double> value = lp_->min_makespan(hi);
   if (!value.has_value()) return lo;  // impossible pins cannot happen at root
+  // A contested root solve must not raise the certified bound: fall back to
+  // the trusted combinatorial `lo` (the gap report stays sound, just looser).
+  if (last_contested()) return lo;
   return std::max(lo, *value);
 }
 

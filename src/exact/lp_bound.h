@@ -49,6 +49,12 @@ class LpBounder {
   /// makespan <= T exists (or the bounder is unavailable). False certifies
   /// that no completion of the pinned partial schedule has makespan <= T, so
   /// the subtree can be pruned against a cutoff of T.
+  ///
+  /// Safe pruning: every probe runs under the lp::solve guard
+  /// (AssignmentLpOptions::audit_interval = 1), and an infeasibility /
+  /// bound verdict the audit contests is DEMOTED to "no bound" — the probe
+  /// answers true and the subtree is searched instead of pruned. Losing a
+  /// prune costs nodes; trusting a corrupted bound costs correctness.
   [[nodiscard]] bool feasible(double T);
 
   /// Certified lower bound on OPT from the unpinned relaxation: the LP
@@ -106,8 +112,27 @@ class LpBounder {
   }
   /// Total pairs ever fixed by fix_dominated (cumulative, before undos).
   [[nodiscard]] std::size_t fixed_vars() const noexcept { return fixed_; }
+  /// Probes whose post-solve residual audit was contested.
+  [[nodiscard]] std::size_t audits_suspect() const noexcept {
+    return lp_ ? lp_->audits_suspect() : 0;
+  }
+  /// Contested probes the guard's ladder recovered (warm/cold re-solve).
+  [[nodiscard]] std::size_t recoveries() const noexcept {
+    return lp_ ? lp_->recoveries() : 0;
+  }
+  /// Contested probes escalated to the dense tableau oracle.
+  [[nodiscard]] std::size_t oracle_fallbacks() const noexcept {
+    return lp_ ? lp_->oracle_fallbacks() : 0;
+  }
 
  private:
+  /// True when the most recent probe's answer must not be acted on: the
+  /// audit contested it even after the full recovery ladder.
+  [[nodiscard]] bool last_contested() const {
+    return lp_->last_verdict() == lp::AuditVerdict::kSuspect ||
+           lp_->last_verdict() == lp::AuditVerdict::kFailed;
+  }
+
   std::optional<ParametricAssignmentLp> lp_;
   std::size_t fixed_ = 0;
 };

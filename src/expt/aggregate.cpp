@@ -20,6 +20,7 @@ struct Bucket {
   std::size_t ok = 0;
   std::size_t skipped = 0;
   std::size_t failed = 0;
+  std::size_t timeout = 0;
   std::vector<double> ratios;         // ok cells only
   std::vector<double> times_ms;       // ok cells only
   std::vector<double> lp_solves;       // ok cells only
@@ -30,6 +31,9 @@ struct Bucket {
   std::vector<double> pricing_pct;     // ok cells with time_ms > 0
   std::size_t proven = 0;             // ok cells certified optimal
   std::vector<double> gaps;           // ok cells with a certificate
+  std::vector<double> audits_suspect;    // ok cells only
+  std::vector<double> recoveries;        // ok cells only
+  std::vector<double> oracle_fallbacks;  // ok cells only
 };
 
 void write_double(std::ostream& os, double v) {
@@ -62,6 +66,11 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
         bucket.lp_dual_solves.push_back(
             static_cast<double>(r.lp_dual_solves));
         bucket.fixed_vars.push_back(static_cast<double>(r.fixed_vars));
+        bucket.audits_suspect.push_back(
+            static_cast<double>(r.lp_audits_suspect));
+        bucket.recoveries.push_back(static_cast<double>(r.lp_recoveries));
+        bucket.oracle_fallbacks.push_back(
+            static_cast<double>(r.lp_oracle_fallbacks));
         if (r.time_ms > 0.0) {
           bucket.lp_pct.push_back(100.0 * r.phase_ms.lp_ms() / r.time_ms);
           bucket.pricing_pct.push_back(
@@ -77,6 +86,12 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
       case RunStatus::kError:
         ++bucket.failed;
         break;
+      case RunStatus::kTimeout:
+        // Budget exhaustion, not a defect: counted apart from failed so a
+        // watchdog sweep is distinguishable from a broken solver, and its
+        // (unfinished) quality numbers stay out of the ok statistics.
+        ++bucket.timeout;
+        break;
     }
   }
 
@@ -90,6 +105,7 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
     s.ok = bucket.ok;
     s.skipped = bucket.skipped;
     s.failed = bucket.failed;
+    s.timeout = bucket.timeout;
     // mean/max_value are defined (0.0) on the empty all-failed bucket;
     // percentile throws on empty, so it stays behind the ok-count guard.
     s.ratio_mean = mean(bucket.ratios);
@@ -107,6 +123,9 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
     s.proven = bucket.proven;
     s.certified = bucket.gaps.size();
     s.gap_mean = mean(bucket.gaps);
+    s.lp_audits_suspect_mean = mean(bucket.audits_suspect);
+    s.lp_recoveries_mean = mean(bucket.recoveries);
+    s.lp_oracle_fallbacks_mean = mean(bucket.oracle_fallbacks);
     summaries.push_back(std::move(s));
   }
   return summaries;  // std::map iterates keys in (solver, preset) order
@@ -114,9 +133,10 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
 
 Table summary_table(std::span<const AggregateSummary> summaries) {
   Table table({"solver", "preset", "cells", "ok", "skipped", "failed",
-               "proven", "gap_mean", "ratio_mean", "ratio_max", "time_p50_ms",
-               "time_p95_ms", "lp_solves", "lp_iters", "lp_dual", "fixed",
-               "lp%", "pricing%"});
+               "timeout", "proven", "gap_mean", "ratio_mean", "ratio_max",
+               "time_p50_ms", "time_p95_ms", "lp_solves", "lp_iters",
+               "lp_dual", "fixed", "suspect", "recov", "oracle", "lp%",
+               "pricing%"});
   for (const AggregateSummary& s : summaries) {
     table.row()
         .add(s.solver)
@@ -125,6 +145,7 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.ok)
         .add(s.skipped)
         .add(s.failed)
+        .add(s.timeout)
         .add(s.proven)
         .add(s.gap_mean, 4)
         .add(s.ratio_mean)
@@ -135,6 +156,9 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.lp_iterations_mean, 1)
         .add(s.lp_dual_solves_mean, 1)
         .add(s.fixed_vars_mean, 1)
+        .add(s.lp_audits_suspect_mean, 1)
+        .add(s.lp_recoveries_mean, 1)
+        .add(s.lp_oracle_fallbacks_mean, 1)
         .add(s.lp_pct_mean, 1)
         .add(s.pricing_pct_mean, 1);
   }
@@ -143,12 +167,13 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
 
 void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
                       std::span<const AggregateSummary> summaries) {
-  std::size_t cells = 0, ok = 0, skipped = 0, failed = 0;
+  std::size_t cells = 0, ok = 0, skipped = 0, failed = 0, timeout = 0;
   for (const AggregateSummary& s : summaries) {
     cells += s.cells;
     ok += s.ok;
     skipped += s.skipped;
     failed += s.failed;
+    timeout += s.timeout;
   }
 
   os << "{\n  \"bench\": \"expt\",\n  \"schema_version\": 1,\n  \"plan\": {\n"
@@ -163,18 +188,23 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
   write_double(os, plan.precision);
   os << ",\n    \"time_limit_s\": ";
   write_double(os, plan.time_limit_s);
+  os << ",\n    \"cell_timeout_s\": ";
+  write_double(os, plan.cell_timeout_s);
+  os << ",\n    \"inject\": \"" << plan.inject << '"';
+  os << ",\n    \"lp_audit_interval\": " << plan.lp_audit_interval;
   os << ",\n    \"lp\": \"" << lp_algorithm_name(plan.lp_algorithm) << '"';
   os << ",\n    \"lp_pricing\": \"" << lp_pricing_name(plan.lp_pricing)
      << '"';
   os << "\n  },\n  \"cells\": " << cells << ",\n  \"ok\": " << ok
      << ",\n  \"skipped\": " << skipped << ",\n  \"failed\": " << failed
-     << ",\n  \"summaries\": [";
+     << ",\n  \"timeout\": " << timeout << ",\n  \"summaries\": [";
   for (std::size_t i = 0; i < summaries.size(); ++i) {
     const AggregateSummary& s = summaries[i];
     os << (i > 0 ? "," : "") << "\n    {\"solver\": \"" << s.solver
        << "\", \"preset\": \"" << s.preset << "\", \"cells\": " << s.cells
        << ", \"ok\": " << s.ok << ", \"skipped\": " << s.skipped
-       << ", \"failed\": " << s.failed << ", \"proven\": " << s.proven
+       << ", \"failed\": " << s.failed << ", \"timeout\": " << s.timeout
+       << ", \"proven\": " << s.proven
        << ", \"certified\": " << s.certified << ", \"gap_mean\": ";
     write_double(os, s.gap_mean);
     os << ", \"ratio_mean\": ";
@@ -193,6 +223,12 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
     write_double(os, s.lp_dual_solves_mean);
     os << ", \"fixed_vars_mean\": ";
     write_double(os, s.fixed_vars_mean);
+    os << ", \"lp_audits_suspect_mean\": ";
+    write_double(os, s.lp_audits_suspect_mean);
+    os << ", \"lp_recoveries_mean\": ";
+    write_double(os, s.lp_recoveries_mean);
+    os << ", \"lp_oracle_fallbacks_mean\": ";
+    write_double(os, s.lp_oracle_fallbacks_mean);
     os << ", \"lp_pct_mean\": ";
     write_double(os, s.lp_pct_mean);
     os << ", \"pricing_pct_mean\": ";

@@ -21,7 +21,8 @@ struct AggregateSummary {
   std::size_t cells = 0;
   std::size_t ok = 0;
   std::size_t skipped = 0;
-  std::size_t failed = 0;  ///< kInvalid + kError
+  std::size_t failed = 0;   ///< kInvalid + kError
+  std::size_t timeout = 0;  ///< kTimeout — budget exhausted, not a failure
   double ratio_mean = 0.0;
   double ratio_max = 0.0;
   double time_p50_ms = 0.0;
@@ -46,6 +47,13 @@ struct AggregateSummary {
   std::size_t certified = 0;
   /// Mean certified gap over those cells (0 when none are certified).
   double gap_mean = 0.0;
+  /// Mean LP guard activity over the ok cells (lp/guard.h counters): audits
+  /// contested, recoveries by warm/cold re-solve, and tableau-oracle
+  /// escalations. All 0 when the guard is off (the default outside the
+  /// exact bounder) or nothing was contested.
+  double lp_audits_suspect_mean = 0.0;
+  double lp_recoveries_mean = 0.0;
+  double lp_oracle_fallbacks_mean = 0.0;
 
   [[nodiscard]] bool operator==(const AggregateSummary&) const = default;
 };

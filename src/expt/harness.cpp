@@ -1,6 +1,7 @@
 #include "expt/harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "common/timer.h"
 #include "core/bounds.h"
 #include "core/schedule.h"
+#include "lp/fault.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 
@@ -52,6 +54,17 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
   context.time_limit_s = plan.time_limit_s;
   context.lp_algorithm = plan.lp_algorithm;
   context.lp_pricing = plan.lp_pricing;
+  context.lp_audit_interval = plan.lp_audit_interval;
+  // Each cell gets its own injection stream keyed on cell_seed, so a sweep
+  // corrupts the same solves no matter how cells are scheduled.
+  if (!plan.inject.empty()) {
+    context.fault_plan = lp::FaultPlan::parse(plan.inject, record.cell_seed);
+  }
+  if (plan.cell_timeout_s > 0.0) {
+    context.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(plan.cell_timeout_s));
+  }
   // Cells are the unit of parallelism; solvers must not nest into the pool
   // that is running them (same rule as setsched_cli --all).
   context.pool = nullptr;
@@ -103,10 +116,20 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
     record.lp_iterations = result.stats.lp_iterations;
     record.lp_dual_solves = result.stats.lp_dual_solves;
     record.fixed_vars = result.stats.fixed_vars;
+    record.lp_audits_suspect = result.stats.lp_audits_suspect;
+    record.lp_recoveries = result.stats.lp_recoveries;
+    record.lp_oracle_fallbacks = result.stats.lp_oracle_fallbacks;
     record.nodes = result.stats.nodes;
     record.lp_bounds_used = result.stats.lp_bounds_used;
     record.proven_optimal = result.stats.proven_optimal;
     record.gap = result.stats.gap;
+    // Watchdog verdict comes last: the schedule above was still validated
+    // (a timed-out cell is a budget statement, not a correctness one), but
+    // the row must not enter quality aggregates as kOk.
+    if (plan.cell_timeout_s > 0.0 &&
+        timer.elapsed_seconds() > plan.cell_timeout_s) {
+      record.status = RunStatus::kTimeout;
+    }
   } catch (const std::exception& e) {
     record.status = RunStatus::kError;
     record.error = e.what();

@@ -9,7 +9,8 @@
 //   setsched_expt --presets=<a,b> (--solvers=<a,b> | --all-solvers)
 //                 [--seeds=N | --seeds=A..B]
 //
-// Options: --epsilon=E --precision=P --time-limit=S
+// Options: --epsilon=E --precision=P --time-limit=S --cell-timeout=S
+//          --inject=SPEC --lp-audit-interval=N
 //          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex
 //          --threads=N --no-timing --jsonl=PATH --csv=PATH --bench-json=PATH
 //          --trace=PATH --quiet
@@ -49,9 +50,9 @@ struct ExptOptions {
   std::string trace_path;
 
   // Overrides applied on top of a plan file (only when given on the line).
-  std::optional<std::string> presets, solvers, seeds, lp, lp_pricing;
-  std::optional<double> epsilon, precision, time_limit_s;
-  std::optional<std::size_t> threads;
+  std::optional<std::string> presets, solvers, seeds, lp, lp_pricing, inject;
+  std::optional<double> epsilon, precision, time_limit_s, cell_timeout_s;
+  std::optional<std::size_t> threads, lp_audit_interval;
   std::optional<bool> record_timing;
 };
 
@@ -60,6 +61,9 @@ void print_usage(std::ostream& os) {
      << "       setsched_expt --presets=<a,b> (--solvers=<a,b> | --all-solvers)\n"
      << "                     [--seeds=N | --seeds=A..B]\n"
      << "options: [--epsilon=E] [--precision=P] [--time-limit=S]\n"
+     << "         [--cell-timeout=S]  (per-cell wall-clock watchdog; 0 = off)\n"
+     << "         [--inject=SPEC]  (LP fault injection, e.g. all@0.01)\n"
+     << "         [--lp-audit-interval=N]  (audit every Nth LP solve; 0 = off)\n"
      << "         [--lp=auto|tableau|revised|dual]\n"
      << "         [--lp-pricing=candidate|devex] [--threads=N] [--no-timing]\n"
      << "         [--quiet] [--jsonl=PATH] [--csv=PATH] [--bench-json=PATH]\n"
@@ -106,8 +110,15 @@ std::optional<ExptOptions> parse_args(int argc, char** argv) {
         options.precision = std::stod(value);
       } else if (consume(arg, "--time-limit", &value)) {
         options.time_limit_s = std::stod(value);
+      } else if (consume(arg, "--cell-timeout", &value)) {
+        options.cell_timeout_s = std::stod(value);
+      } else if (consume(arg, "--inject", &value)) {
+        options.inject = value;
       } else if (consume(arg, "--lp-pricing", &value)) {
         options.lp_pricing = value;
+      } else if (consume(arg, "--lp-audit-interval", &value)) {
+        options.lp_audit_interval =
+            static_cast<std::size_t>(parse_u64(value, "lp_audit_interval"));
       } else if (consume(arg, "--lp", &value)) {
         options.lp = value;
       } else if (consume(arg, "--threads", &value)) {
@@ -144,6 +155,11 @@ ExperimentPlan build_plan(const ExptOptions& options) {
   if (options.epsilon) plan.epsilon = *options.epsilon;
   if (options.precision) plan.precision = *options.precision;
   if (options.time_limit_s) plan.time_limit_s = *options.time_limit_s;
+  if (options.cell_timeout_s) plan.cell_timeout_s = *options.cell_timeout_s;
+  if (options.inject) plan.inject = *options.inject;
+  if (options.lp_audit_interval) {
+    plan.lp_audit_interval = *options.lp_audit_interval;
+  }
   if (options.lp) plan.lp_algorithm = lp_algorithm_from_name(*options.lp);
   if (options.lp_pricing) {
     plan.lp_pricing = lp_pricing_from_name(*options.lp_pricing);

@@ -10,6 +10,7 @@
 #include "api/registry.h"
 #include "common/check.h"
 #include "common/prng.h"
+#include "lp/fault.h"
 
 namespace setsched::expt {
 
@@ -75,6 +76,11 @@ void ExperimentPlan::validate() const {
   check(epsilon > 0.0, "experiment plan epsilon must be positive");
   check(precision > 0.0, "experiment plan precision must be positive");
   check(time_limit_s > 0.0, "experiment plan time_limit_s must be positive");
+  check(cell_timeout_s >= 0.0,
+        "experiment plan cell_timeout_s must be non-negative");
+  // Surface a malformed injection spec at plan time, not mid-sweep (the
+  // per-cell seed is substituted later; 1 is just a validity probe).
+  if (!inject.empty()) (void)lp::FaultPlan::parse(inject, 1);
 }
 
 CellKey cell_key(const ExperimentPlan& plan, std::size_t cell) {
@@ -194,6 +200,13 @@ ExperimentPlan parse_plan(std::istream& is) {
       plan.precision = parse_positive_double(value, "precision");
     } else if (key == "time_limit_s") {
       plan.time_limit_s = parse_positive_double(value, "time_limit_s");
+    } else if (key == "cell_timeout_s") {
+      plan.cell_timeout_s = parse_positive_double(value, "cell_timeout_s");
+    } else if (key == "inject") {
+      plan.inject = std::string(value);
+    } else if (key == "lp_audit_interval") {
+      plan.lp_audit_interval =
+          static_cast<std::size_t>(parse_u64(value, "lp_audit_interval"));
     } else if (key == "lp") {
       plan.lp_algorithm = lp_algorithm_from_name(value);
     } else if (key == "lp_pricing") {

@@ -39,6 +39,21 @@ struct ExperimentPlan {
   /// Off zeroes time_ms in every record, making JSONL output byte-identical
   /// across runs and thread counts.
   bool record_timing = true;
+  /// Per-cell hard wall-clock watchdog in seconds (plan key `cell_timeout_s`,
+  /// CLI --cell-timeout; 0 = off). Threaded to the solvers as an absolute
+  /// deadline (SolverContext::deadline) so search loops abort cooperatively;
+  /// a cell whose wall time still exceeds the slot is recorded as
+  /// RunStatus::kTimeout and excluded from quality aggregates.
+  double cell_timeout_s = 0.0;
+  /// Deterministic LP fault-injection spec (plan key `inject`, CLI --inject):
+  /// `kind[,kind...]@rate` or `all@rate` with the kinds of lp/fault.h, e.g.
+  /// "eta-flip,ftran-nan@0.01". Empty = no injection. Each cell derives its
+  /// own injection stream from its cell_seed, so sweeps are reproducible
+  /// cell-by-cell regardless of scheduling.
+  std::string inject;
+  /// Residual-audit cadence for the approximation pipelines' LP chains (plan
+  /// key `lp_audit_interval`; 0 = off). Exact bound probes audit always.
+  std::size_t lp_audit_interval = 0;
 
   [[nodiscard]] std::size_t num_seeds() const noexcept {
     return static_cast<std::size_t>(seed_end - seed_begin + 1);
@@ -79,8 +94,9 @@ struct CellKey {
 /// Parses a plan file: `key = value` lines, '#' comments, commas separating
 /// list items. Keys: presets, solvers ("all" expands to the full registry),
 /// seeds (`N` means 1..N, `A..B` is inclusive), epsilon, precision,
-/// time_limit_s, lp (auto/tableau/revised/dual), lp_pricing
-/// (candidate/devex), threads, timing (on/off).
+/// time_limit_s, cell_timeout_s, lp (auto/tableau/revised/dual), lp_pricing
+/// (candidate/devex), threads, timing (on/off), inject (fault spec),
+/// lp_audit_interval.
 /// Throws CheckError on unknown keys or malformed values; the result is
 /// validate()d.
 [[nodiscard]] ExperimentPlan parse_plan(std::istream& is);

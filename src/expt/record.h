@@ -15,6 +15,11 @@ enum class RunStatus {
   kSkipped,  ///< solver precondition not met for this instance
   kInvalid,  ///< solver returned an infeasible schedule or a wrong makespan
   kError,    ///< solver threw; `error` holds the message
+  /// The cell's hard wall-clock deadline (ExperimentPlan::cell_timeout_s)
+  /// passed before the solver returned a certified result. The schedule (if
+  /// any) was still validated — a timed-out cell is a budget statement, not
+  /// a correctness one — but its quality must not enter aggregates.
+  kTimeout,
 };
 
 [[nodiscard]] std::string_view run_status_name(RunStatus status);
@@ -25,7 +30,7 @@ enum class RunStatus {
 /// One structured result row of an experiment sweep: the cell key
 /// (solver, preset, seed), the instance shape, the measured outcome, and an
 /// echo of the solver-context knobs so a record is self-describing. Streamed
-/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 26-key
+/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 29-key
 /// field-by-field schema is documented in docs/BENCH_SCHEMA.md.
 struct RunRecord {
   std::string solver;
@@ -58,6 +63,12 @@ struct RunRecord {
   /// Job-machine variables excluded by reduced-cost fixing at search nodes
   /// (exact solvers with LP bounds; 0 elsewhere).
   std::size_t fixed_vars = 0;
+  // LP guard counters (SolverStats echo; lp/guard.h). OPTIONAL on JSONL
+  // read, like phase_ms: lines written before the numerical-safety-net PR
+  // parse with zeros.
+  std::size_t lp_audits_suspect = 0;  ///< post-solve audits contested
+  std::size_t lp_recoveries = 0;      ///< recovered by warm/cold re-solve
+  std::size_t lp_oracle_fallbacks = 0;  ///< escalated to the tableau oracle
 
   // Search certificate (SolverStats echo). Every record carries these so
   // quality tables can separate proven optima from budget-exhausted

@@ -178,9 +178,10 @@ RunRecord parse_record_line(std::string_view line) {
   LineParser p{line};
   RunRecord r;
   // Bitmask of the keys, in write_jsonl() order. Bits 0-24 are the required
-  // keys; bit 25 (phase_ms) is OPTIONAL on read — lines written before the
-  // observability PR parse with an empty breakdown — and the bit only guards
-  // against duplicates.
+  // keys; bit 25 (phase_ms) and bits 26-28 (the LP guard counters) are
+  // OPTIONAL on read — lines written before the observability / safety-net
+  // PRs parse with an empty breakdown and zero counters — and their bits
+  // only guard against duplicates.
   unsigned seen = 0;
   const auto mark = [&](unsigned bit) {
     if (seen & (1u << bit)) p.fail("duplicate key");
@@ -248,6 +249,15 @@ RunRecord parse_record_line(std::string_view line) {
     } else if (key == "fixed_vars") {
       mark(16),
           r.fixed_vars = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "lp_audits_suspect") {
+      mark(26), r.lp_audits_suspect =
+                    to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "lp_recoveries") {
+      mark(27),
+          r.lp_recoveries = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "lp_oracle_fallbacks") {
+      mark(28), r.lp_oracle_fallbacks =
+                    to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "nodes") {
       mark(17), r.nodes = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "lp_bounds_used") {
@@ -298,6 +308,7 @@ std::string_view run_status_name(RunStatus status) {
     case RunStatus::kSkipped: return "skipped";
     case RunStatus::kInvalid: return "invalid";
     case RunStatus::kError: return "error";
+    case RunStatus::kTimeout: return "timeout";
   }
   throw CheckError("unknown RunStatus value");
 }
@@ -307,6 +318,7 @@ RunStatus run_status_from_name(std::string_view name) {
   if (name == "skipped") return RunStatus::kSkipped;
   if (name == "invalid") return RunStatus::kInvalid;
   if (name == "error") return RunStatus::kError;
+  if (name == "timeout") return RunStatus::kTimeout;
   throw CheckError("unknown run status '" + std::string(name) + "'");
 }
 
@@ -337,6 +349,9 @@ void write_jsonl(std::ostream& os, const RunRecord& r) {
   os << ",\"lp_iterations\":" << r.lp_iterations;
   os << ",\"lp_dual_solves\":" << r.lp_dual_solves;
   os << ",\"fixed_vars\":" << r.fixed_vars;
+  os << ",\"lp_audits_suspect\":" << r.lp_audits_suspect;
+  os << ",\"lp_recoveries\":" << r.lp_recoveries;
+  os << ",\"lp_oracle_fallbacks\":" << r.lp_oracle_fallbacks;
   os << ",\"nodes\":" << r.nodes;
   os << ",\"lp_bounds_used\":" << r.lp_bounds_used;
   os << ",\"proven_optimal\":" << (r.proven_optimal ? "true" : "false");
@@ -374,7 +389,8 @@ std::vector<RunRecord> read_jsonl(std::istream& is) {
 void write_csv(std::ostream& os, std::span<const RunRecord> records) {
   os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
         "lower_bound,ratio,setups,time_ms,phase_ms,lp_solves,lp_iterations,"
-        "lp_dual_solves,fixed_vars,nodes,"
+        "lp_dual_solves,fixed_vars,lp_audits_suspect,lp_recoveries,"
+        "lp_oracle_fallbacks,nodes,"
         "lp_bounds_used,proven_optimal,gap,epsilon,precision,time_limit_s,"
         "error\n";
   for (const RunRecord& r : records) {
@@ -408,7 +424,9 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
       write_csv_field(os, phases.str());
     }
     os << ',' << r.lp_solves << ',' << r.lp_iterations << ','
-       << r.lp_dual_solves << ',' << r.fixed_vars << ',' << r.nodes
+       << r.lp_dual_solves << ',' << r.fixed_vars << ','
+       << r.lp_audits_suspect << ',' << r.lp_recoveries << ','
+       << r.lp_oracle_fallbacks << ',' << r.nodes
        << ',' << r.lp_bounds_used << ','
        << (r.proven_optimal ? "true" : "false") << ',';
     write_double(os, r.gap);

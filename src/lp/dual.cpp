@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "lp/revised_impl.h"
+#include "obs/trace.h"
 
 namespace setsched::lp::internal {
 
@@ -61,6 +62,13 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
   // re-running the same BTRAN (probes are only a few pivots long, so one
   // BTRAN per probe is measurable).
   bool duals_ready = true;
+  // Incremental dual maintenance: after each pivot y can be advanced in
+  // place (y += theta_d * rho, rho = B^-T e_leave already computed for the
+  // ratio test), replacing the per-iteration BTRAN. The update is
+  // cross-checked against an exact BTRAN at every periodic refactorization;
+  // drift beyond the audit slack restores the exact duals and drops back to
+  // per-iteration BTRANs for the rest of the solve.
+  const bool incremental = opt_.incremental_duals;
 
   while (true) {
     if (iterations_ >= max_iterations_) return DualOutcome::kIterationLimit;
@@ -125,6 +133,7 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
     // for numerical stability; Bland mode takes the smallest column index.
     std::size_t enter = kNone;
     double enter_alpha = 0.0;
+    double enter_d = 0.0;
     double best_ratio = std::numeric_limits<double>::infinity();
     double best_mag = 0.0;
     // Columns whose direction would help but whose pivot-row coefficient
@@ -178,6 +187,7 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
       if (better) {
         enter = j;
         enter_alpha = a;
+        enter_d = d;
         best_ratio = ratio;
         best_mag = mag;
       }
@@ -206,7 +216,7 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
     // must agree; drift beyond roundoff means the eta file degraded.
     if (!std::isfinite(apivot) || std::abs(apivot) < opt_.pivot_tol ||
         std::abs(apivot - enter_alpha) >
-            1e-6 * std::max(1.0, std::abs(apivot))) {
+            opt_.pivot_agreement_tol() * std::max(1.0, std::abs(apivot))) {
       std::fill(alpha_.begin(), alpha_.end(), 0.0);
       return DualOutcome::kFallback;
     }
@@ -224,8 +234,11 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
       dual_stall = 0;
     }
 
-    // Devex row weights from the pivot column (pre-pivot view).
-    if (!bland) {
+    // Devex row weights from the pivot column (pre-pivot view). kStaleDevex
+    // drops one whole update when it fires: the weights go stale, which can
+    // only degrade pivot choice (more iterations), never correctness — the
+    // fault the audit must NOT flag.
+    if (!bland && !injector_.fire(FaultKind::kStaleDevex)) {
       const double w_pivot = devex_rows_.weight(leave);
       for (std::size_t k = 0; k < nrows_; ++k) {
         if (k == leave || alpha_[k] == 0.0) continue;
@@ -256,8 +269,24 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
       alpha_[k] = 0.0;
     }
     etas_.push_back(std::move(eta));
+    maybe_flip_eta(etas_.back());
 
-    if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
+    if (incremental && incremental_duals_ok_) {
+      // Advance the duals in place of the next iteration's BTRAN: the new
+      // basis's reduced costs are d'_j = d_j - theta_d * alpha_rj with
+      // theta_d = d_enter / apivot, i.e. y' = y + theta_d * rho (rho_ still
+      // holds this pivot's row B^-T e_leave).
+      const double theta_d = enter_d / apivot;
+      if (theta_d != 0.0) {
+        for (std::size_t r = 0; r < nrows_; ++r) {
+          y_[r] += theta_d * rho_[r];
+        }
+      }
+      duals_ready = true;
+    }
+
+    if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval) &&
+        !injector_.fire(FaultKind::kSkipRefactor)) {
       factorize();
       if (factor_repaired_) {
         // The repair swapped basis columns behind the dual loop's back; its
@@ -266,6 +295,32 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
         return DualOutcome::kFallback;
       }
       compute_basics();
+      if (incremental && incremental_duals_ok_ && duals_ready) {
+        // Periodic exact-BTRAN cross-check of the incremental duals: with
+        // fresh factors, recompute y from scratch, measure the drift the
+        // eta-era updates accumulated, and always adopt the exact values.
+        // Drift beyond the audit slack (or a NaN) disables the incremental
+        // path for the rest of this solve — correctness never depends on
+        // the shortcut.
+        for (std::size_t k = 0; k < nrows_; ++k) {
+          cslot_[k] = cost2_[basis_[k]];
+        }
+        btran_scratch_ = cslot_;
+        btran(btran_scratch_, rho_);  // rho_ is dead until the next pivot
+        double drift = 0.0;
+        double scale = 1.0;
+        for (std::size_t r = 0; r < nrows_; ++r) {
+          drift = std::max(drift, std::abs(rho_[r] - y_[r]));
+          scale = std::max(scale, std::abs(rho_[r]));
+        }
+        y_ = rho_;
+        if (!(drift <= opt_.audit_slack() * scale)) {
+          ++dual_drift_events_;
+          incremental_duals_ok_ = false;
+          obs::emit_instant("lp_dual_drift", "lp", nullptr, nullptr, "drift",
+                            drift);
+        }
+      }
     }
   }
 }

@@ -1,0 +1,102 @@
+#include "lp/fault.h"
+
+#include <charconv>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace setsched::lp {
+
+namespace {
+
+constexpr std::string_view kKindNames[kFaultKindCount] = {
+    "eta-flip", "factor-perturb", "ftran-nan", "skip-refactor", "stale-devex",
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  check(index < kFaultKindCount, "unknown FaultKind value");
+  return kKindNames[index];
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  spec = trim(spec);
+  check(!spec.empty(), "empty fault-injection spec");
+
+  if (const std::size_t at = spec.rfind('@'); at != std::string_view::npos) {
+    const std::string_view rate_token = trim(spec.substr(at + 1));
+    double rate = 0.0;
+    const auto [end, ec] = std::from_chars(
+        rate_token.data(), rate_token.data() + rate_token.size(), rate);
+    check(ec == std::errc{} && end == rate_token.data() + rate_token.size() &&
+              rate > 0.0 && rate <= 1.0,
+          "bad fault-injection rate '" + std::string(rate_token) +
+              "' (want a number in (0, 1])");
+    plan.rate = rate;
+    spec = trim(spec.substr(0, at));
+  }
+
+  check(!spec.empty(), "fault-injection spec names no fault kinds");
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string_view item =
+        trim(comma == std::string_view::npos ? spec : spec.substr(0, comma));
+    if (!item.empty()) {
+      if (item == "all") {
+        for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+          plan.arm(static_cast<FaultKind>(k));
+        }
+      } else {
+        bool found = false;
+        for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+          if (item == kKindNames[k]) {
+            plan.arm(static_cast<FaultKind>(k));
+            found = true;
+            break;
+          }
+        }
+        check(found, "unknown fault kind '" + std::string(item) +
+                         "' (want eta-flip, factor-perturb, ftran-nan, "
+                         "skip-refactor, stale-devex, or all)");
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+  }
+  check(plan.any(), "fault-injection spec names no fault kinds");
+  return plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::string out;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (!armed[k]) continue;
+    if (!out.empty()) out += ',';
+    out += kKindNames[k];
+  }
+  if (out.empty()) return out;
+  out += '@';
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), rate,
+                    std::chars_format::general, 17);
+  check(ec == std::errc{}, "fault rate formatting failed");
+  out.append(buffer, end);
+  return out;
+}
+
+}  // namespace setsched::lp

@@ -255,7 +255,14 @@ bool RevisedSolver::try_factorize() {
     std::fill(w.begin(), w.end(), 0.0);
   }
 
-  if (deficient.empty()) return true;
+  if (deficient.empty()) {
+    // Fault site (lp/fault.h): one U diagonal perturbed by 1 +/- 1e-6 per
+    // firing — the shape of a marginally unstable pivot.
+    if (injector_.armed() && injector_.fire(FaultKind::kFactorPerturb)) {
+      udiag_[injector_.pick(nrows_)] *= 1.0 + injector_.pick_sign() * 1e-6;
+    }
+    return true;
+  }
 
   // Repair: swap each dependent basis column for the logical of a distinct
   // unclaimed row (those logicals are provably nonbasic only in the common
@@ -318,6 +325,12 @@ void RevisedSolver::ftran(std::vector<double>& slots) {
       for (const auto& [q, v] : e.entries) slots[q] -= v * xp;
     }
     slots[e.slot] = xp;
+  }
+  // Fault site (lp/fault.h): a NaN dropped into one FTRAN result entry —
+  // the shape of an uninitialized read or a 0/0 slipping through.
+  if (injector_.armed() && injector_.fire(FaultKind::kFtranNan)) {
+    slots[injector_.pick(slots.size())] =
+        std::numeric_limits<double>::quiet_NaN();
   }
 }
 
@@ -530,6 +543,7 @@ Solution RevisedSolver::extract(SolveStatus status) {
   sol.status = status;
   sol.iterations = iterations_;
   sol.via_dual = via_dual_;
+  sol.faults_injected = injector_.injected();
 
   // The basis snapshot is useful even for infeasible probes (the T-search
   // warm-starts the next probe from it), so fill it for every terminal
@@ -744,8 +758,10 @@ Solution RevisedSolver::run_primal() {
     }
 
     // Devex weight maintenance needs the pre-pivot row; run it before the
-    // eta for this pivot lands.
-    if (opt_.pricing == SimplexPricing::kDevex && !use_bland_) {
+    // eta for this pivot lands. kStaleDevex drops one update when it fires
+    // (stale weights cost iterations, never correctness).
+    if (opt_.pricing == SimplexPricing::kDevex && !use_bland_ &&
+        !injector_.fire(FaultKind::kStaleDevex)) {
       devex_primal_update(enter, leave_slot);
     }
 
@@ -772,8 +788,13 @@ Solution RevisedSolver::run_primal() {
       alpha_[k] = 0.0;
     }
     etas_.push_back(std::move(eta));
+    maybe_flip_eta(etas_.back());
 
-    if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
+    // kSkipRefactor suppresses one periodic trigger: the eta file keeps
+    // growing and roundoff accumulates — exactly the failure a forgotten
+    // refactorization causes.
+    if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval) &&
+        !injector_.fire(FaultKind::kSkipRefactor)) {
       factorize();
       compute_basics();
     }
@@ -809,7 +830,7 @@ Solution RevisedSolver::run() {
     }
     const bool worth_it =
         primal_infeasible || opt_.algorithm == SimplexAlgorithm::kDual;
-    if (worth_it && dual_feasible(std::max(opt_.opt_tol * 100, 1e-7))) {
+    if (worth_it && dual_feasible(opt_.dual_feas_floor())) {
       const obs::PhaseTimer dual_timer(obs::Phase::kLpDual);
       switch (run_dual()) {
         case DualOutcome::kOptimal:

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "lp/fault.h"
 #include "lp/pricing.h"
 #include "lp/simplex.h"
 
@@ -38,7 +39,7 @@ struct Eta {
 class RevisedSolver {
  public:
   RevisedSolver(const Model& model, const SimplexOptions& options)
-      : model_(model), opt_(options) {}
+      : model_(model), opt_(options), injector_(options.fault_plan) {}
 
   Solution run();
 
@@ -158,6 +159,27 @@ class RevisedSolver {
   bool factor_repaired_ = false;
   /// True once the dual simplex performed this solve (Solution::via_dual).
   bool via_dual_ = false;
+
+  /// Deterministic fault injection (lp/fault.h); disarmed unless the options
+  /// carry a plan. Sites: eta pushes (kEtaFlip), try_factorize
+  /// (kFactorPerturb), ftran results (kFtranNan), the periodic refactor
+  /// trigger (kSkipRefactor), and the Devex weight updates (kStaleDevex).
+  FaultInjector injector_;
+  /// Corrupts one entry of a freshly pushed eta when kEtaFlip fires; shared
+  /// by the primal and dual eta-push sites.
+  void maybe_flip_eta(Eta& eta) {
+    if (!injector_.armed() || eta.entries.empty()) return;
+    if (!injector_.fire(FaultKind::kEtaFlip)) return;
+    eta.entries[injector_.pick(eta.entries.size())].second *= -1.0;
+  }
+
+  /// Incremental-duals state (dual.cpp): when true, y_ currently holds the
+  /// exact duals of basis_ and the dual loop may advance it per pivot via
+  /// y += theta_d * rho instead of a fresh BTRAN. Dropped to exact-recompute
+  /// mode for the rest of the solve when the periodic refactorization
+  /// cross-check detects drift.
+  bool incremental_duals_ok_ = true;
+  std::size_t dual_drift_events_ = 0;
 
   [[nodiscard]] double infeas_tol() const {
     return opt_.feas_tol * std::max<double>(1.0, static_cast<double>(nrows_));

@@ -2,11 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "lp/model.h"
 
 namespace setsched::lp {
+
+struct FaultPlan;  // lp/fault.h — deterministic fault-injection plan
 
 enum class SolveStatus {
   kOptimal,
@@ -14,6 +17,14 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
 };
+
+/// Verdict of the post-solve residual audit (lp/guard.h): kClean when every
+/// check passed within tolerance, kSuspect on a tolerance-scale violation,
+/// kFailed on a gross violation or a non-finite value. kSkipped when the
+/// solve ran unguarded or its status leaves nothing auditable.
+enum class AuditVerdict : std::uint8_t { kSkipped, kClean, kSuspect, kFailed };
+
+[[nodiscard]] std::string_view audit_verdict_name(AuditVerdict verdict);
 
 /// Status of one column (structural or logical) in a simplex basis.
 enum class VarStatus : std::uint8_t { kAtLower, kAtUpper, kBasic };
@@ -62,9 +73,29 @@ struct Solution {
   /// basis of an *infeasible* probe is still a dual-feasible warm-start
   /// seed.
   bool via_dual = false;
+  /// Post-solve residual-audit verdict; kSkipped when options.guard was off.
+  /// A guarded solve that escalated reports the verdict of whatever rung of
+  /// the recovery ladder produced the returned answer.
+  AuditVerdict audit_verdict = AuditVerdict::kSkipped;
+  /// Guard-ladder counters for this solve: non-clean audits observed,
+  /// successful warm/cold re-solve recoveries, and escalations to the dense
+  /// tableau oracle. All zero when unguarded.
+  std::size_t audits_suspect = 0;
+  std::size_t recoveries = 0;
+  std::size_t oracle_fallbacks = 0;
+  /// Faults the injection framework actually fired during this solve
+  /// (lp/fault.h); diagnostics for tests, not serialized.
+  std::size_t faults_injected = 0;
 
   [[nodiscard]] bool optimal() const noexcept {
     return status == SolveStatus::kOptimal;
+  }
+  /// True when the audit did not contest the solve: clean, or unaudited.
+  /// Soundness-critical consumers (search pruning, reduced-cost fixing)
+  /// additionally require audit_verdict == kClean before acting.
+  [[nodiscard]] bool audit_contested() const noexcept {
+    return audit_verdict == AuditVerdict::kSuspect ||
+           audit_verdict == AuditVerdict::kFailed;
   }
 };
 
@@ -138,6 +169,44 @@ struct SimplexOptions {
   /// Revised solver: rebuild the LU factorization after this many eta
   /// updates (bounds the eta file and the accumulated roundoff).
   std::size_t refactor_interval = 64;
+  /// Run the post-solve residual audit (lp/guard.h) and, on a non-clean
+  /// verdict, the recovery escalation ladder: refactorize-and-warm-re-solve,
+  /// then cold solve, then the dense tableau oracle. Off by default — the
+  /// guarded path must cost nothing when disabled. Consumers that prune
+  /// search trees on LP verdicts (src/exact) turn it on.
+  bool guard = false;
+  /// Deterministic fault-injection plan (lp/fault.h); nullptr = no faults.
+  /// The caller keeps ownership for the duration of the solve. Recovery
+  /// re-solves triggered by the guard run fault-free.
+  const FaultPlan* fault_plan = nullptr;
+  /// Dual simplex: update the duals incrementally across pivots
+  /// (y += theta_d * rho) instead of recomputing them with one BTRAN per
+  /// iteration. Cross-checked against an exact BTRAN at every periodic
+  /// refactorization; detected drift restores the exact duals and disables
+  /// the incremental path for the rest of the solve.
+  bool incremental_duals = true;
+
+  // Named derived tolerances — one contract shared by the solvers and the
+  // guard instead of scattered magic constants.
+  /// Slack for post-hoc primal checks (bound violations, audited row
+  /// residuals): a 10x cushion over feas_tol, since audited quantities have
+  /// accumulated a whole solve's roundoff. The tableau audit's row-equation
+  /// check allows another 10x on top (rows sum many terms).
+  [[nodiscard]] double audit_slack() const noexcept { return feas_tol * 10.0; }
+  /// Pivot row/column agreement: the FTRAN and BTRAN views of the pivot
+  /// element must agree to this relative tolerance or the dual simplex
+  /// bails to the primal (a disagreement means the factorization is lying).
+  [[nodiscard]] double pivot_agreement_tol() const noexcept {
+    return pivot_tol * 100.0;
+  }
+  /// Dual-feasibility floor for the dual-simplex prologue: reduced costs may
+  /// dip this far below optimality-sign and the basis still counts as
+  /// dual-feasible (warm bases carry primal-scale noise, so the floor never
+  /// drops below feas_tol).
+  [[nodiscard]] double dual_feas_floor() const noexcept {
+    const double scaled = opt_tol * 100.0;
+    return scaled > feas_tol ? scaled : feas_tol;
+  }
 };
 
 /// Solves the LP. The default (kAuto) runs the sparse revised simplex; the

@@ -189,6 +189,10 @@ lp::Solution ParametricAssignmentLp::run_solve(double T) {
   ++lp_solves_;
   last_iterations_ = 0;
   last_via_dual_ = false;
+  // Infeasibility by structure (a pin onto a variable absent from the model)
+  // is exact combinatorial knowledge, not simplex output — trusted without
+  // an audit, so the verdict resets to the "unaudited" state.
+  last_verdict_ = lp::AuditVerdict::kSkipped;
   lp::Solution sol;
   sol.status = lp::SolveStatus::kInfeasible;
   if (structurally_infeasible_ || impossible_pins_ > 0) return sol;
@@ -197,11 +201,19 @@ lp::Solution ParametricAssignmentLp::run_solve(double T) {
   reparameterize(T);
 
   lp::SimplexOptions simplex = options_.simplex;
+  if (options_.audit_interval > 0 &&
+      (lp_solves_ - 1) % options_.audit_interval == 0) {
+    simplex.guard = true;
+  }
   if (!basis_.empty()) simplex.warm_start = &basis_;
   sol = lp::solve(model_, simplex);
   iterations_ += sol.iterations;
   last_iterations_ = sol.iterations;
   last_via_dual_ = sol.via_dual;
+  last_verdict_ = sol.audit_verdict;
+  audits_suspect_ += sol.audits_suspect;
+  recoveries_ += sol.recoveries;
+  oracle_fallbacks_ += sol.oracle_fallbacks;
   if (sol.via_dual) ++dual_solves_;
   // Optimal bases always join the warm-start chain. An infeasible probe's
   // basis joins only when the dual simplex produced it: a dual-terminal
@@ -247,6 +259,10 @@ std::size_t ParametricAssignmentLp::fix_dominated(
   check(options_.makespan_objective,
         "fix_dominated needs AssignmentLpOptions::makespan_objective");
   if (!last_solution_.optimal()) return 0;
+  // Reduced-cost fixing acts only on audited (or unaudited-but-trusted)
+  // duals: a contested solve's sensitivity bounds could exclude pairs the
+  // true relaxation allows, which would silently cut off optimal schedules.
+  if (last_solution_.audit_contested()) return 0;
   const double value = last_solution_.objective;
   const double margin = 1e-7 * std::max(1.0, std::abs(cutoff));
   if (value >= cutoff) return 0;  // the whole node prunes anyway
@@ -290,6 +306,10 @@ bool ParametricAssignmentLp::save_root_snapshot() {
     check(pin == kUnassigned, "root snapshot taken with pins set");
   }
   if (!last_solution_.optimal()) return false;
+  // A contested root solve must not become the permanent fixing certificate
+  // for the entire search (refix_root re-applies it at every incumbent
+  // improvement with no further audit).
+  if (last_solution_.audit_contested()) return false;
   compute_reduced_costs();
   const double value = last_solution_.objective;
   root_bound_.assign(model_.num_variables(), -kInfinity);
@@ -424,6 +444,9 @@ LpSearchResult search_assignment_lp(const Instance& instance, double precision,
     out.lp_solves = lp.lp_solves();
     out.lp_dual_solves = lp.dual_solves();
     out.simplex_iterations = lp.simplex_iterations();
+    out.lp_audits_suspect = lp.audits_suspect();
+    out.lp_recoveries = lp.recoveries();
+    out.lp_oracle_fallbacks = lp.oracle_fallbacks();
     return std::move(out);
   };
 

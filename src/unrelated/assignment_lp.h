@@ -37,6 +37,15 @@ struct AssignmentLpOptions {
   /// dual-feasible and the dual simplex solves these end to end.
   /// Incompatible with `strengthen` (the packing coefficients contain T).
   bool makespan_objective = false;
+  /// Residual-audit cadence of the numerical safety net (lp/guard.h): every
+  /// `audit_interval`-th solve of the warm-probe chain runs under the
+  /// lp::solve guard — post-solve residual audit plus the recovery
+  /// escalation ladder on suspicion. 1 audits every solve (what the exact
+  /// bounder uses: its prune/fix decisions must never rest on an unaudited
+  /// solve), N > 1 samples the chain, 0 disables the guard entirely (the
+  /// zero-overhead default for the approximation pipelines, which only
+  /// consume feasibility windows and tolerate a bad probe).
+  std::size_t audit_interval = 0;
   lp::SimplexOptions simplex = {};
 };
 
@@ -136,6 +145,23 @@ class ParametricAssignmentLp {
   }
   /// True iff the most recent solve went through the dual simplex.
   [[nodiscard]] bool last_via_dual() const noexcept { return last_via_dual_; }
+  /// Audit verdict of the most recent solve (kSkipped when the guard did not
+  /// run — an unaudited solve is trusted, preserving pre-guard behavior;
+  /// only kSuspect/kFailed mark the answer as unusable).
+  [[nodiscard]] lp::AuditVerdict last_verdict() const noexcept {
+    return last_verdict_;
+  }
+  /// Guarded solves whose post-solve audit was contested (summed over the
+  /// chain; each solve's internal ladder can contest more than once).
+  [[nodiscard]] std::size_t audits_suspect() const noexcept {
+    return audits_suspect_;
+  }
+  /// Contested solves the ladder recovered via a warm/cold re-solve.
+  [[nodiscard]] std::size_t recoveries() const noexcept { return recoveries_; }
+  /// Contested solves escalated to the dense tableau oracle.
+  [[nodiscard]] std::size_t oracle_fallbacks() const noexcept {
+    return oracle_fallbacks_;
+  }
 
  private:
   void reparameterize(double T);
@@ -183,6 +209,10 @@ class ParametricAssignmentLp {
   std::size_t iterations_ = 0;
   std::size_t last_iterations_ = 0;
   bool last_via_dual_ = false;
+  lp::AuditVerdict last_verdict_ = lp::AuditVerdict::kSkipped;
+  std::size_t audits_suspect_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t oracle_fallbacks_ = 0;
 };
 
 /// Solves the relaxation of ILP-UM for makespan guess T. Among feasible
@@ -215,6 +245,10 @@ struct LpSearchResult {
   /// primal-infeasible by the T mutation but stayed dual-feasible).
   std::size_t lp_dual_solves = 0;
   std::size_t simplex_iterations = 0;  ///< summed over all probes
+  /// LP guard counters (0 unless AssignmentLpOptions::audit_interval > 0).
+  std::size_t lp_audits_suspect = 0;
+  std::size_t lp_recoveries = 0;
+  std::size_t lp_oracle_fallbacks = 0;
 };
 [[nodiscard]] LpSearchResult search_assignment_lp(
     const Instance& instance, double precision = 0.05,

@@ -84,6 +84,9 @@ RoundingResult randomized_rounding(const Instance& instance,
   out.lp_solves = lp.lp_solves;
   out.lp_dual_solves = lp.lp_dual_solves;
   out.lp_iterations = lp.simplex_iterations;
+  out.lp_audits_suspect = lp.lp_audits_suspect;
+  out.lp_recoveries = lp.lp_recoveries;
+  out.lp_oracle_fallbacks = lp.lp_oracle_fallbacks;
 
   Xoshiro256 seeder(options.seed);
   std::vector<std::uint64_t> trial_seeds(options.trials);
@@ -139,6 +142,9 @@ ScheduleResult argmax_rounding(const Instance& instance,
   stats.lp_solves = lp.lp_solves;
   stats.lp_iterations = lp.simplex_iterations;
   stats.lp_dual_solves = lp.lp_dual_solves;
+  stats.lp_audits_suspect = lp.lp_audits_suspect;
+  stats.lp_recoveries = lp.lp_recoveries;
+  stats.lp_oracle_fallbacks = lp.lp_oracle_fallbacks;
   return {schedule, makespan(instance, schedule), stats};
 }
 

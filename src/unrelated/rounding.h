@@ -42,6 +42,12 @@ struct RoundingResult {
   /// Total simplex iterations across every LP solve of the T-search (direct
   /// path) or every RMP solve of every config-LP probe (colgen path).
   std::size_t lp_iterations = 0;
+  /// LP guard counters of the T-search chain (0 unless
+  /// AssignmentLpOptions::audit_interval enables the residual audits; the
+  /// colgen path does not report them).
+  std::size_t lp_audits_suspect = 0;
+  std::size_t lp_recoveries = 0;
+  std::size_t lp_oracle_fallbacks = 0;
 };
 
 /// One pass of the Sec. 3.1 sampling given a fractional solution:

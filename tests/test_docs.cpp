@@ -110,7 +110,7 @@ TEST(Docs, BenchSchemaDocumentsEveryJsonlKey) {
     EXPECT_NE(schema.find("`" + token + "`"), std::string::npos)
         << "JSONL key '" << token << "' is not documented in BENCH_SCHEMA.md";
   }
-  EXPECT_EQ(keys, 26u) << "RunRecord schema size changed; update "
+  EXPECT_EQ(keys, 29u) << "RunRecord schema size changed; update "
                           "docs/BENCH_SCHEMA.md and this pin";
 
   // The nested phase_ms keys are elided when zero, so the default record
@@ -132,7 +132,8 @@ TEST(Docs, BenchSchemaDocumentsEveryJsonlKey) {
 
 TEST(Docs, CorePagesExistAndAreNonTrivial) {
   for (const char* name : {"ARCHITECTURE.md", "LP.md", "SOLVERS.md",
-                           "BENCH_SCHEMA.md", "OBSERVABILITY.md"}) {
+                           "BENCH_SCHEMA.md", "OBSERVABILITY.md",
+                           "ROBUSTNESS.md"}) {
     const std::string doc = read_doc(name);
     EXPECT_GT(doc.size(), 1000u) << name << " looks like a stub";
   }

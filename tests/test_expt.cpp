@@ -27,6 +27,9 @@ TEST(ExptPlan, ParsesKeyValueFile) {
       "epsilon = 0.25\n"
       "precision = 0.1\n"
       "time_limit_s = 2.5\n"
+      "cell_timeout_s = 1.5\n"
+      "inject = eta-flip,ftran-nan@0.01\n"
+      "lp_audit_interval = 16\n"
       "lp = tableau\n"
       "threads = 3\n"
       "timing = off\n");
@@ -39,6 +42,9 @@ TEST(ExptPlan, ParsesKeyValueFile) {
   EXPECT_DOUBLE_EQ(plan.epsilon, 0.25);
   EXPECT_DOUBLE_EQ(plan.precision, 0.1);
   EXPECT_DOUBLE_EQ(plan.time_limit_s, 2.5);
+  EXPECT_DOUBLE_EQ(plan.cell_timeout_s, 1.5);
+  EXPECT_EQ(plan.inject, "eta-flip,ftran-nan@0.01");
+  EXPECT_EQ(plan.lp_audit_interval, 16u);
   EXPECT_EQ(plan.lp_algorithm, lp::SimplexAlgorithm::kTableau);
   EXPECT_EQ(plan.threads, 3u);
   EXPECT_FALSE(plan.record_timing);
@@ -88,6 +94,13 @@ TEST(ExptPlan, RejectsMalformedFiles) {
                CheckError);
   EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
                      "lp = dense\n"),
+               CheckError);
+  // A malformed fault-injection spec must fail at plan time, not mid-sweep.
+  EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
+                     "inject = warp-core-breach@0.01\n"),
+               CheckError);
+  EXPECT_THROW(parse("presets = uniform-small\nsolvers = greedy\n"
+                     "inject = all@2.0\n"),
                CheckError);
 }
 
@@ -153,6 +166,9 @@ RunRecord sample_record() {
   r.lp_iterations = 431;
   r.lp_dual_solves = 4;
   r.fixed_vars = 11;
+  r.lp_audits_suspect = 3;
+  r.lp_recoveries = 2;
+  r.lp_oracle_fallbacks = 1;
   r.nodes = 1234;
   r.lp_bounds_used = 5;
   r.proven_optimal = true;
@@ -200,6 +216,46 @@ TEST(ExptRecordIo, ReadAcceptsLegacyLinesWithoutPhaseMs) {
   EXPECT_EQ(back[0], expected);
 }
 
+// Lines written before the numerical-safety-net PR carry none of the LP
+// guard counters; they must parse with zeros (the counters are optional on
+// read, like phase_ms).
+TEST(ExptRecordIo, ReadAcceptsLegacyLinesWithoutGuardCounters) {
+  std::stringstream stream;
+  write_jsonl(stream, sample_record());
+  std::string line = stream.str();
+  for (const std::string key :
+       {"lp_audits_suspect", "lp_recoveries", "lp_oracle_fallbacks"}) {
+    const std::size_t at = line.find(",\"" + key + "\":");
+    ASSERT_NE(at, std::string::npos) << key;
+    const std::size_t end = line.find_first_of(",}", at + key.size() + 4);
+    ASSERT_NE(end, std::string::npos) << key;
+    line.erase(at, end - at);
+    EXPECT_EQ(line.find(key), std::string::npos) << key;
+  }
+
+  std::istringstream legacy(line);
+  const std::vector<RunRecord> back = read_jsonl(legacy);
+  ASSERT_EQ(back.size(), 1u);
+  RunRecord expected = sample_record();
+  expected.lp_audits_suspect = 0;
+  expected.lp_recoveries = 0;
+  expected.lp_oracle_fallbacks = 0;
+  EXPECT_EQ(back[0], expected);
+}
+
+TEST(ExptRecordIo, TimeoutStatusRoundTrips) {
+  EXPECT_EQ(run_status_name(RunStatus::kTimeout), "timeout");
+  EXPECT_EQ(run_status_from_name("timeout"), RunStatus::kTimeout);
+  RunRecord r = sample_record();
+  r.status = RunStatus::kTimeout;
+  r.proven_optimal = false;
+  std::stringstream stream;
+  write_jsonl(stream, r);
+  const std::vector<RunRecord> back = read_jsonl(stream);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], r);
+}
+
 TEST(ExptRecordIo, ReadAcceptsBlankLinesAndAnyKeyOrder) {
   std::stringstream stream;
   write_jsonl(stream, sample_record());
@@ -245,7 +301,8 @@ TEST(ExptRecordIo, CsvHeaderAndQuoting) {
   EXPECT_EQ(out.substr(0, out.find('\n')),
             "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
             "lower_bound,ratio,setups,time_ms,phase_ms,lp_solves,"
-            "lp_iterations,lp_dual_solves,fixed_vars,nodes,lp_bounds_used,"
+            "lp_iterations,lp_dual_solves,fixed_vars,lp_audits_suspect,"
+            "lp_recoveries,lp_oracle_fallbacks,nodes,lp_bounds_used,"
             "proven_optimal,gap,epsilon,precision,time_limit_s,error");
   EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
   // Compact semicolon-separated breakdown, never CSV-quoted.
@@ -328,6 +385,31 @@ TEST(ExptHarness, RecordsCarryCellKeysStatusesAndBounds) {
 // The mid-size ground-truth scenario: an exact-included sweep on the
 // unrelated-midsize preset must report a per-run gap for the search solvers
 // and may never mislabel a budget-exhausted run as proven-optimal.
+// The per-cell watchdog: a deadline far below the solve time must surface as
+// kTimeout (a budget verdict — the schedule itself was still validated), and
+// a generous one must leave the sweep untouched.
+TEST(ExptHarness, CellTimeoutClassifiesSlowCells) {
+  ExperimentPlan plan;
+  plan.presets = {"unrelated-midsize"};
+  plan.solvers = {"exact"};
+  plan.seed_begin = 1;
+  plan.seed_end = 1;
+  plan.time_limit_s = 1.0;
+  plan.cell_timeout_s = 1e-4;  // hopeless: the root LP alone takes longer
+  plan.threads = 1;
+  plan.record_timing = false;
+  const std::vector<RunRecord> timed_out = run_experiment(plan);
+  ASSERT_EQ(timed_out.size(), 1u);
+  EXPECT_EQ(timed_out[0].status, RunStatus::kTimeout) << timed_out[0].error;
+
+  plan.presets = {"uniform-small"};
+  plan.solvers = {"greedy"};
+  plan.cell_timeout_s = 3600.0;
+  const std::vector<RunRecord> relaxed = run_experiment(plan);
+  ASSERT_EQ(relaxed.size(), 1u);
+  EXPECT_EQ(relaxed[0].status, RunStatus::kOk) << relaxed[0].error;
+}
+
 TEST(ExptHarness, MidsizeExactSweepCertificatesAreCoherent) {
   ExperimentPlan plan;
   plan.presets = {"unrelated-midsize"};
@@ -402,6 +484,8 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
                   15.0, 6.0),
       bucket_record("zeta", "p1", RunStatus::kSkipped, 0.0, 0.0),
       bucket_record("zeta", "p1", RunStatus::kError, 0.0, 0.0),
+      // A timed-out cell: counted apart from failed, quality ignored.
+      bucket_record("zeta", "p1", RunStatus::kTimeout, 99.0, 9999.0),
       // alpha/p2: every cell failed -> zeroed statistics, not UB or a throw.
       bucket_record("alpha", "p2", RunStatus::kInvalid, 0.0, 0.0),
       // alpha/p1: single ok cell -> every statistic equals that cell.
@@ -431,10 +515,12 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
   EXPECT_DOUBLE_EQ(summaries[1].time_p95_ms, 0.0);
 
   EXPECT_EQ(summaries[2].solver, "zeta");
-  EXPECT_EQ(summaries[2].cells, 5u);
+  EXPECT_EQ(summaries[2].cells, 6u);
   EXPECT_EQ(summaries[2].ok, 3u);
   EXPECT_EQ(summaries[2].skipped, 1u);
   EXPECT_EQ(summaries[2].failed, 1u);
+  EXPECT_EQ(summaries[2].timeout, 1u);
+  // The timed-out cell's ratio (99) and time (9999) stay out of the stats.
   EXPECT_DOUBLE_EQ(summaries[2].ratio_mean, 1.5);
   EXPECT_DOUBLE_EQ(summaries[2].ratio_max, 2.0);
   EXPECT_DOUBLE_EQ(summaries[2].time_p50_ms, 20.0);
@@ -457,6 +543,26 @@ TEST(ExptAggregate, MatchesHandComputedFixture) {
   EXPECT_DOUBLE_EQ(summaries[2].lp_pct_mean, 40.0);
   EXPECT_DOUBLE_EQ(summaries[2].pricing_pct_mean, 20.0);
   EXPECT_DOUBLE_EQ(summaries[0].lp_pct_mean, 0.0);
+}
+
+TEST(ExptAggregate, GuardCounterMeansAverageOkCells) {
+  RunRecord a = bucket_record("s", "p", RunStatus::kOk, 1.0, 1.0);
+  a.lp_audits_suspect = 2;
+  a.lp_recoveries = 2;
+  a.lp_oracle_fallbacks = 0;
+  RunRecord b = bucket_record("s", "p", RunStatus::kOk, 1.0, 1.0);
+  b.lp_audits_suspect = 4;
+  b.lp_recoveries = 3;
+  b.lp_oracle_fallbacks = 1;
+  // Failed cells contribute nothing, however large their counters.
+  RunRecord c = bucket_record("s", "p", RunStatus::kError, 0.0, 0.0);
+  c.lp_audits_suspect = 100;
+  const std::vector<AggregateSummary> summaries =
+      aggregate(std::vector<RunRecord>{a, b, c});
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_DOUBLE_EQ(summaries[0].lp_audits_suspect_mean, 3.0);
+  EXPECT_DOUBLE_EQ(summaries[0].lp_recoveries_mean, 2.5);
+  EXPECT_DOUBLE_EQ(summaries[0].lp_oracle_fallbacks_mean, 0.5);
 }
 
 TEST(ExptAggregate, SummaryTableHasOneRowPerBucket) {
@@ -496,6 +602,13 @@ TEST(ExptAggregate, BenchJsonContainsPlanCountsAndSummaries) {
   EXPECT_NE(out.find("\"gap_mean\""), std::string::npos);
   EXPECT_NE(out.find("\"lp_pct_mean\""), std::string::npos);
   EXPECT_NE(out.find("\"pricing_pct_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"timeout\""), std::string::npos);
+  EXPECT_NE(out.find("\"cell_timeout_s\""), std::string::npos);
+  EXPECT_NE(out.find("\"inject\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_audit_interval\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_audits_suspect_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_recoveries_mean\""), std::string::npos);
+  EXPECT_NE(out.find("\"lp_oracle_fallbacks_mean\""), std::string::npos);
   EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
             std::count(out.begin(), out.end(), '}'));
 }
