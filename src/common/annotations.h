@@ -1,0 +1,113 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang thread-safety annotations (-Wthread-safety) plus the annotated
+/// locking primitives every shared-state site in the repo must use —
+/// tools/lint_invariants.py rejects naked std::mutex anywhere else, so the
+/// analysis (and the locking discipline it encodes) cannot silently erode.
+///
+/// The macro set follows the abseil/LLVM convention: capabilities are
+/// declared on the Mutex type, data members name their guard with
+/// GUARDED_BY(mu), and functions declare the locks they take or need with
+/// ACQUIRE/RELEASE/REQUIRES. Clang proves the discipline at compile time
+/// (builds with -DSETSCHED_THREAD_SAFETY=ON promote violations to errors);
+/// every other compiler sees empty macros and identical codegen. See
+/// docs/STATIC_ANALYSIS.md for the guide.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SETSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SETSCHED_THREAD_ANNOTATION
+#define SETSCHED_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define SETSCHED_CAPABILITY(name) SETSCHED_THREAD_ANNOTATION(capability(name))
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SETSCHED_SCOPED_CAPABILITY SETSCHED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the named mutex.
+#define GUARDED_BY(x) SETSCHED_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member: the pointee (not the pointer) is protected by the mutex.
+#define PT_GUARDED_BY(x) SETSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release it).
+#define REQUIRES(...) \
+  SETSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) SETSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a capability acquired earlier.
+#define RELEASE(...) SETSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define EXCLUDES(...) SETSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model; every use must carry an
+/// inline justification (the lint counts naked uses as violations).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SETSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace setsched {
+
+/// Annotated std::mutex wrapper. Exactly as cheap as the raw mutex, but the
+/// capability declaration lets Clang check that every GUARDED_BY member is
+/// only touched with the lock held.
+class SETSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex (the only blessed way to take one; the analysis
+/// tracks the critical section as the MutexLock's scope).
+class SETSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() declares
+/// REQUIRES(mu): the caller must hold the lock, and (as with
+/// std::condition_variable) holds it again when wait returns, so the
+/// analysis sees one unbroken critical section around the caller's own
+/// `while (!condition) cv.wait(mu);` loop — deliberately no predicate
+/// overload, because the loop form keeps the guarded-member accesses in the
+/// annotated caller instead of an unannotatable lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // The underlying std::mutex is locked exactly when `mu` is held, so
+    // adopting it here hands the same lock to std::condition_variable.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // `mu` stays held; MutexLock's destructor unlocks it
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace setsched

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -43,8 +43,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -58,10 +58,32 @@ namespace {
 /// Fork-join rendezvous shared by the parallel_for variants: the caller
 /// blocks on done_cv until every spawned task decremented `remaining`.
 struct JoinState {
-  std::mutex m;
-  std::condition_variable done_cv;
-  std::size_t remaining;
-  std::exception_ptr first_error;
+  Mutex m;
+  CondVar done_cv;
+  std::size_t remaining GUARDED_BY(m) = 0;
+  std::exception_ptr first_error GUARDED_BY(m);
+
+  explicit JoinState(std::size_t tasks) : remaining(tasks) {}
+
+  /// Task epilogue: records the first error and signals the joiner when the
+  /// last task finishes.
+  void finish_task(std::exception_ptr error) {
+    const MutexLock lock(m);
+    if (error && !first_error) first_error = std::move(error);
+    if (--remaining == 0) done_cv.notify_all();
+  }
+
+  /// Caller side: blocks until every task finished, then rethrows the first
+  /// captured exception (if any).
+  void join() {
+    std::exception_ptr error;
+    {
+      MutexLock lock(m);
+      while (remaining != 0) done_cv.wait(m);
+      error = first_error;
+    }
+    if (error) std::rethrow_exception(error);
+  }
 };
 
 }  // namespace
@@ -77,7 +99,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
-  JoinState join{.m = {}, .done_cv = {}, .remaining = chunks, .first_error = nullptr};
+  JoinState join(chunks);
 
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -90,15 +112,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       } catch (...) {
         error = std::current_exception();
       }
-      const std::scoped_lock lock(join.m);
-      if (error && !join.first_error) join.first_error = error;
-      if (--join.remaining == 0) join.done_cv.notify_all();
+      join.finish_task(std::move(error));
     });
   }
 
-  std::unique_lock lock(join.m);
-  join.done_cv.wait(lock, [&join] { return join.remaining == 0; });
-  if (join.first_error) std::rethrow_exception(join.first_error);
+  join.join();
 }
 
 void ThreadPool::parallel_for_dynamic(
@@ -113,7 +131,7 @@ void ThreadPool::parallel_for_dynamic(
   }
 
   std::atomic<std::size_t> next{begin};
-  JoinState join{.m = {}, .done_cv = {}, .remaining = workers, .first_error = nullptr};
+  JoinState join(workers);
 
   for (std::size_t w = 0; w < workers; ++w) {
     enqueue([end, &next, &body, &join] {
@@ -126,15 +144,11 @@ void ThreadPool::parallel_for_dynamic(
       } catch (...) {
         error = std::current_exception();
       }
-      const std::scoped_lock lock(join.m);
-      if (error && !join.first_error) join.first_error = error;
-      if (--join.remaining == 0) join.done_cv.notify_all();
+      join.finish_task(std::move(error));
     });
   }
 
-  std::unique_lock lock(join.m);
-  join.done_cv.wait(lock, [&join] { return join.remaining == 0; });
-  if (join.first_error) std::rethrow_exception(join.first_error);
+  join.join();
 }
 
 ThreadPool& default_pool() {

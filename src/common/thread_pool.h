@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace setsched {
 
@@ -16,7 +16,9 @@ namespace setsched {
 ///  * tasks are plain std::function<void()>; no futures on the hot path;
 ///  * parallel_for blocks until all chunks finish (structured fork-join),
 ///    so callers never observe concurrent mutation after it returns;
-///  * exceptions thrown by tasks are captured and rethrown on join.
+///  * exceptions thrown by tasks are captured and rethrown on join;
+///  * all queue state is GUARDED_BY(mutex_) — Clang's thread-safety
+///    analysis (and the TSan CI job) keep it that way.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (0 means hardware_concurrency, at least 1).
@@ -49,14 +51,19 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
   void worker_loop(std::size_t index);
 
+  /// Workers are spawned in the constructor and joined in the destructor;
+  /// the vector itself is never mutated in between, so it needs no guard.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// Library-wide default pool (lazily constructed, sized to the hardware).
+/// First use races are benign: C++ static-local initialization is
+/// serialized by the runtime (pinned by ThreadPoolTest.ConcurrentDefaultPool
+/// under TSan).
 ThreadPool& default_pool();
 
 }  // namespace setsched

@@ -13,6 +13,7 @@
 #include "exact/dominance.h"
 #include "exact/lp_bound.h"
 #include "exact/search_util.h"
+#include "exact/tolerances.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 
@@ -119,16 +120,18 @@ class ProveSolver {
     // ties with the incumbent are no improvement, while a load *equal* to
     // the external bound is still acceptable (inclusive semantics), hence
     // the bound enters with a small upward slack instead of a downward one.
-    prune_at_ = incumbent_ - 1e-12;
+    prune_at_ = incumbent_ - exact::kIncumbentPruneSlack;
     if (opt_.initial_upper_bound > 0.0) {
       const double inclusive =
-          opt_.initial_upper_bound * (1.0 + 1e-9) + 1e-9;
+          opt_.initial_upper_bound * (1.0 + exact::kExternalBoundRelSlack) +
+          exact::kExternalBoundAbsSlack;
       prune_at_ = std::min(prune_at_, inclusive);
     }
   }
 
   [[nodiscard]] bool incumbent_meets_lb() const {
-    return incumbent_ <= lower_bound_ + 1e-9 * std::max(1.0, lower_bound_);
+    return incumbent_ <=
+           lower_bound_ + exact::kCertRelTol * std::max(1.0, lower_bound_);
   }
 
   /// True when no further node may be expanded. Checked BEFORE a node is

@@ -80,7 +80,9 @@ struct ExactOptions {
   /// Kept for API compatibility with the PR 4 geometric root-bound
   /// bisection; the min-makespan LP certifies the root bound exactly, so
   /// this knob is no longer read.
-  double root_bound_precision = 1e-4;
+  double root_bound_precision =
+      1e-4;  // lint: allow-tolerance (unused legacy option default, kept for
+             // API compatibility; not a live numerical tolerance)
   /// Dominance memo: states kept per depth (0 disables the memo).
   std::size_t memo_limit = 256;
   /// kDive: beam width per level.

@@ -11,6 +11,7 @@
 #include "core/schedule.h"
 #include "exact/lp_bound.h"
 #include "exact/search_util.h"
+#include "exact/tolerances.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 
@@ -36,7 +37,7 @@ struct BeamState {
 /// candidate is matched or beaten.
 bool dominated_by(const BeamState& kept, const BeamState& candidate) {
   for (std::size_t i = 0; i < kept.loads.size(); ++i) {
-    if (kept.loads[i] > candidate.loads[i] + 1e-12) return false;
+    if (kept.loads[i] > candidate.loads[i] + kDominanceLoadSlack) return false;
   }
   for (std::size_t e = 0; e < kept.class_on.size(); ++e) {
     if (candidate.class_on[e] != 0 && kept.class_on[e] == 0) return false;
@@ -69,10 +70,11 @@ ExactResult dive_search(const Instance& inst, const ExactOptions& opt) {
   // small upward slack. (PR 5's dive ignored the external bound entirely,
   // breaking the documented ExactOptions contract.) Cutoff drops are sound
   // exclusions and never count as beam truncation.
-  double prune_at = incumbent - 1e-12;
+  double prune_at = incumbent - kIncumbentPruneSlack;
   if (opt.initial_upper_bound > 0.0) {
-    prune_at =
-        std::min(prune_at, opt.initial_upper_bound * (1.0 + 1e-9) + 1e-9);
+    prune_at = std::min(
+        prune_at, opt.initial_upper_bound * (1.0 + kExternalBoundRelSlack) +
+                      kExternalBoundAbsSlack);
   }
 
   // Suffix sums of the cheapest processing times in branching order:

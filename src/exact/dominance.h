@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "exact/tolerances.h"
+
 namespace setsched::exact {
 
 /// Dominance memo over branch-and-bound states. Because jobs are branched in
@@ -62,7 +64,7 @@ class DominanceTable {
                                const std::vector<char>& class_on) const {
     const double* old_loads = level.loads.data() + s * m_;
     for (std::size_t i = 0; i < m_; ++i) {
-      if (old_loads[i] > loads[i] + 1e-12) return false;
+      if (old_loads[i] > loads[i] + kDominanceLoadSlack) return false;
     }
     const char* old_on = level.class_on.data() + s * m_ * kc_;
     for (std::size_t e = 0; e < m_ * kc_; ++e) {

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "core/schedule.h"
 #include "core/types.h"
+#include "exact/tolerances.h"
 
 namespace setsched::exact {
 
@@ -97,7 +98,7 @@ void adopt_initial_schedule(const Instance& instance, const Schedule& initial,
 }
 
 void certify(ExactResult* out, double lower_bound, bool search_complete) {
-  const double tol = 1e-9 * std::max(1.0, lower_bound);
+  const double tol = kCertRelTol * std::max(1.0, lower_bound);
   out->proven_optimal =
       search_complete || out->makespan <= lower_bound + tol;
   if (out->proven_optimal) {
@@ -106,7 +107,8 @@ void certify(ExactResult* out, double lower_bound, bool search_complete) {
   } else {
     out->lower_bound = lower_bound;
     out->gap = std::max(
-        0.0, (out->makespan - lower_bound) / std::max(lower_bound, 1e-9));
+        0.0, (out->makespan - lower_bound) /
+                 std::max(lower_bound, kGapDenominatorFloor));
   }
 }
 

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Named numerical tolerances of the exact search (src/exact). These are the
+/// searchers' counterpart of SimplexOptions' named derived tolerances
+/// (lp/simplex.h): every slack that decides pruning, dominance, or
+/// certification lives here under a name stating what it protects, and
+/// tools/lint_invariants.py rejects new raw `1eN` literals in src/exact so
+/// the contract cannot silently re-scatter.
+///
+/// Values are deliberately asymmetric with the LP tolerances: search
+/// comparisons operate on makespans evaluated by exact summation (not on
+/// simplex output), so the slacks only have to absorb double-rounding of
+/// sums, never a whole solve's accumulated error.
+// lint: allow-tolerance-file (named-tolerance definition site)
+
+namespace setsched::exact {
+
+/// Pointwise machine-load slack of the dominance tests (the beam's
+/// dominated_by scan and the per-depth dominance memo): a kept state's load
+/// may exceed the candidate's by this much and still count as <=. Absolute,
+/// not relative — loads are sums of O(n) doubles, whose representation error
+/// is far below this at every benchmarked scale.
+inline constexpr double kDominanceLoadSlack = 1e-12;
+
+/// Incumbent pruning cutoff: branches whose bound reaches
+/// incumbent - kIncumbentPruneSlack are dropped. Ties with the incumbent are
+/// no improvement, so the cutoff sits a hair *below* the incumbent; the
+/// slack only separates genuine ties from double-rounding.
+inline constexpr double kIncumbentPruneSlack = 1e-12;
+
+/// Inclusive external-bound slack: ExactOptions::initial_upper_bound is
+/// INCLUSIVE (a schedule equal to the bound is acceptable — the PR 4
+/// headline bugfix), so the cutoff derived from it is
+/// bound * (1 + kExternalBoundRelSlack) + kExternalBoundAbsSlack: relative
+/// term for large makespans, absolute term for bounds near zero.
+inline constexpr double kExternalBoundRelSlack = 1e-9;
+inline constexpr double kExternalBoundAbsSlack = 1e-9;
+
+/// Relative certification tolerance: an incumbent within
+/// kCertRelTol * max(1, lower_bound) of the lower bound is certified optimal
+/// (and the lb-meets-incumbent early exit fires). Matches the harness's
+/// makespan-agreement tolerance so a certified optimum always revalidates.
+inline constexpr double kCertRelTol = 1e-9;
+
+/// Floor on the denominator of the reported relative gap
+/// (makespan - lb) / max(lb, kGapDenominatorFloor), keeping the gap finite
+/// on degenerate instances whose lower bound is 0.
+inline constexpr double kGapDenominatorFloor = 1e-9;
+
+}  // namespace setsched::exact

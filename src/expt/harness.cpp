@@ -10,6 +10,7 @@
 
 #include "api/presets.h"
 #include "api/registry.h"
+#include "common/annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/bounds.h"
@@ -139,7 +140,8 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
 
 }  // namespace
 
-std::vector<RunRecord> run_experiment(const ExperimentPlan& plan) {
+std::vector<RunRecord> run_experiment(const ExperimentPlan& plan,
+                                      const ProgressFn& progress) {
   plan.validate();
 
   // Phase timers ride the timing flag: --no-timing sweeps keep the LP hot
@@ -184,11 +186,23 @@ std::vector<RunRecord> run_experiment(const ExperimentPlan& plan) {
     points[p].emplace(std::move(point));
   });
 
-  // Phase 2: run the cells, one stolen at a time, each into its own slot.
+  // Phase 2: run the cells, one stolen at a time, each into its own slot
+  // (slot-exclusive writes; the records vector itself needs no guard). The
+  // completed-cell tally feeding the progress hook is the one piece of
+  // genuinely shared aggregation state, so it is mutex-guarded and
+  // compiler-checked (common/annotations.h).
+  struct ProgressState {
+    Mutex m;
+    std::size_t done GUARDED_BY(m) = 0;
+  } tally;
   std::vector<RunRecord> records(plan.num_cells());
   for_each(records.size(), [&](std::size_t c) {
     const CellKey key = cell_key(plan, c);
     records[c] = run_cell(plan, key, *points[key.point]);
+    if (progress) {
+      const MutexLock lock(tally.m);
+      progress(++tally.done, records.size());
+    }
   });
   return records;
 }

@@ -1,11 +1,20 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "expt/plan.h"
 #include "expt/record.h"
 
 namespace setsched::expt {
+
+/// Optional live-progress hook for run_experiment: called after every
+/// completed cell with (cells_done, cells_total). Calls are serialized under
+/// the harness's aggregation mutex — the callback itself needs no locking —
+/// but they arrive from whichever pool worker finished the cell, in
+/// completion (not cell_key) order.
+using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
 
 /// Executes every (preset, seed, solver) cell of the plan and returns one
 /// RunRecord per cell, in cell_key() order.
@@ -22,6 +31,7 @@ namespace setsched::expt {
 /// A solver that throws or returns an invalid schedule is recorded
 /// (kError / kInvalid) rather than aborting the sweep; plan validation
 /// errors still throw CheckError.
-[[nodiscard]] std::vector<RunRecord> run_experiment(const ExperimentPlan& plan);
+[[nodiscard]] std::vector<RunRecord> run_experiment(
+    const ExperimentPlan& plan, const ProgressFn& progress = {});
 
 }  // namespace setsched::expt

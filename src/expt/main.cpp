@@ -13,7 +13,7 @@
 //          --inject=SPEC --lp-audit-interval=N
 //          --lp=auto|tableau|revised|dual --lp-pricing=candidate|devex
 //          --threads=N --no-timing --jsonl=PATH --csv=PATH --bench-json=PATH
-//          --trace=PATH --quiet
+//          --trace=PATH --quiet --progress
 //
 // --trace records a span trace of the whole sweep (per-cell solve spans over
 // named worker tracks, LP/search sub-spans, search-tree node instants) and
@@ -44,6 +44,7 @@ struct ExptOptions {
   std::string plan_path;
   bool all_solvers = false;
   bool quiet = false;
+  bool progress = false;
   std::string jsonl_path;
   std::string csv_path;
   std::string bench_json_path;
@@ -68,6 +69,7 @@ void print_usage(std::ostream& os) {
      << "         [--lp-pricing=candidate|devex] [--threads=N] [--no-timing]\n"
      << "         [--quiet] [--jsonl=PATH] [--csv=PATH] [--bench-json=PATH]\n"
      << "         [--trace=PATH]  (Chrome trace-event JSON of the sweep)\n"
+     << "         [--progress]  (live completed-cell counter on stderr)\n"
      << "presets:";
   for (const std::string& preset : preset_names()) os << ' ' << preset;
   os << "\nsolvers:";
@@ -96,6 +98,8 @@ std::optional<ExptOptions> parse_args(int argc, char** argv) {
         options.record_timing = false;
       } else if (arg == "--quiet") {
         options.quiet = true;
+      } else if (arg == "--progress") {
+        options.progress = true;
       } else if (consume(arg, "--plan", &value)) {
         options.plan_path = value;
       } else if (consume(arg, "--presets", &value)) {
@@ -197,7 +201,16 @@ int expt_main(int argc, char** argv) {
                 << " solvers = " << plan.num_cells() << " cells\n";
     }
     if (!options->trace_path.empty()) obs::start_trace();
-    const std::vector<RunRecord> records = run_experiment(plan);
+    // Progress goes to stderr so piped/captured stdout stays parseable; the
+    // harness serializes callback invocations (see expt/harness.h).
+    ProgressFn progress;
+    if (options->progress) {
+      progress = [](std::size_t done, std::size_t total) {
+        std::cerr << '\r' << "cells " << done << '/' << total
+                  << (done == total ? "\n" : "") << std::flush;
+      };
+    }
+    const std::vector<RunRecord> records = run_experiment(plan, progress);
     if (!options->trace_path.empty()) {
       obs::stop_trace();
       write_file(options->trace_path, "trace",

@@ -177,9 +177,9 @@ RevisedSolver::DualOutcome RevisedSolver::run_dual() {
         better = j < enter;
         if (ratio > best_ratio + opt_.opt_tol) better = false;
         if (ratio < best_ratio - opt_.opt_tol) better = true;
-      } else if (ratio < best_ratio - 1e-12) {
+      } else if (ratio < best_ratio - opt_.ratio_tie_tol()) {
         better = true;
-      } else if (ratio <= best_ratio + 1e-12) {
+      } else if (ratio <= best_ratio + opt_.ratio_tie_tol()) {
         better = mag > best_mag;
       } else {
         better = false;

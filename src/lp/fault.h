@@ -16,13 +16,20 @@ namespace setsched::lp {
 /// is exercised on the failure shapes it is designed for.
 enum class FaultKind : std::uint8_t {
   kEtaFlip,        ///< flip the sign of one entry of a freshly pushed eta
-  kFactorPerturb,  ///< scale one U diagonal by 1 +/- 1e-6 at factorization
+  kFactorPerturb,  ///< scale one U diagonal by 1 +/- kFactorPerturbScale
   kFtranNan,       ///< overwrite one FTRAN result entry with NaN
   kSkipRefactor,   ///< suppress one periodic refactorization trigger
   kStaleDevex,     ///< drop one Devex weight update (weights go stale)
 };
 
 inline constexpr std::size_t kFaultKindCount = 5;
+
+/// Relative magnitude of the kFactorPerturb corruption: each firing scales
+/// one U diagonal by 1 +/- this. Big enough that the residual audit must
+/// notice, small enough to mimic marginal pivot instability rather than
+/// obvious breakage.
+inline constexpr double kFactorPerturbScale =
+    1e-6;  // lint: allow-tolerance (fault magnitude, not a solver tolerance)
 
 /// Stable spec name ("eta-flip", "factor-perturb", ...).
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
@@ -36,7 +43,8 @@ struct FaultPlan {
   /// Per-opportunity firing probability for every armed kind. Opportunities
   /// are frequent (one per eta push / FTRAN / factorization / Devex update),
   /// so the useful range is small; 0 disarms everything.
-  double rate = 1e-3;
+  double rate = 1e-3;  // lint: allow-tolerance (firing rate, not a
+                       // numerical tolerance)
   bool armed[kFaultKindCount] = {};
 
   [[nodiscard]] bool any() const noexcept {
@@ -95,7 +103,7 @@ class FaultInjector {
     return static_cast<std::size_t>(rng_() % bound);
   }
 
-  /// +1 or -1, for the 1 +/- 1e-6 factor perturbation.
+  /// +1 or -1, for the 1 +/- kFactorPerturbScale factor perturbation.
   [[nodiscard]] double pick_sign() { return (rng_() & 1) != 0 ? 1.0 : -1.0; }
 
   [[nodiscard]] std::size_t injected() const noexcept { return injected_; }

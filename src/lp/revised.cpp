@@ -206,7 +206,7 @@ bool RevisedSolver::try_factorize() {
                      return col_nnz(a) < col_nnz(b);
                    });
 
-  const double lu_tol = std::max(opt_.pivot_tol, 1e-11);
+  const double lu_tol = opt_.lu_pivot_floor();
   std::vector<double>& w = work_rows_;  // invariant: all zero on entry/exit
   std::vector<std::size_t> deficient;
 
@@ -256,10 +256,12 @@ bool RevisedSolver::try_factorize() {
   }
 
   if (deficient.empty()) {
-    // Fault site (lp/fault.h): one U diagonal perturbed by 1 +/- 1e-6 per
-    // firing — the shape of a marginally unstable pivot.
+    // Fault site (lp/fault.h): one U diagonal perturbed by
+    // 1 +/- kFactorPerturbScale per firing — the shape of a marginally
+    // unstable pivot.
     if (injector_.armed() && injector_.fire(FaultKind::kFactorPerturb)) {
-      udiag_[injector_.pick(nrows_)] *= 1.0 + injector_.pick_sign() * 1e-6;
+      udiag_[injector_.pick(nrows_)] *=
+          1.0 + injector_.pick_sign() * kFactorPerturbScale;
     }
     return true;
   }
@@ -648,9 +650,9 @@ Solution RevisedSolver::run_primal() {
         bool better;
         if (leave_slot == kNone) {
           better = t < row_t;
-        } else if (t < row_t - 1e-12) {
+        } else if (t < row_t - opt_.ratio_tie_tol()) {
           better = true;
-        } else if (t <= row_t + 1e-12) {
+        } else if (t <= row_t + opt_.ratio_tie_tol()) {
           // Tie-break: Bland-friendly smallest column when stalling, biggest
           // pivot magnitude otherwise (numerical stability).
           better =

@@ -292,8 +292,8 @@ bool Tableau::phase(bool phase_one, Solution& out) {
       }
       t = std::max(t, 0.0);
       const bool better =
-          t < row_t - 1e-12 ||
-          (t <= row_t + 1e-12 && leave_row != SIZE_MAX &&
+          t < row_t - opt_.ratio_tie_tol() ||
+          (t <= row_t + opt_.ratio_tie_tol() && leave_row != SIZE_MAX &&
            basis_[r] < basis_[leave_row]);  // Bland-friendly tie-break
       if (leave_row == SIZE_MAX ? t < row_t : better) {
         row_t = t;

@@ -144,11 +144,11 @@ enum class SimplexPricing : std::uint8_t {
 
 struct SimplexOptions {
   /// Feasibility tolerance on variable values / rhs.
-  double feas_tol = 1e-7;
+  double feas_tol = 1e-7;  // lint: allow-tolerance (primary definition)
   /// Optimality tolerance on reduced costs.
-  double opt_tol = 1e-9;
+  double opt_tol = 1e-9;  // lint: allow-tolerance (primary definition)
   /// Minimum acceptable pivot magnitude.
-  double pivot_tol = 1e-8;
+  double pivot_tol = 1e-8;  // lint: allow-tolerance (primary definition)
   /// 0 = automatic (proportional to rows + cols).
   std::size_t max_iterations = 0;
   /// Paranoid mode: snapshot the initial system and verify the incremental
@@ -206,6 +206,23 @@ struct SimplexOptions {
   [[nodiscard]] double dual_feas_floor() const noexcept {
     const double scaled = opt_tol * 100.0;
     return scaled > feas_tol ? scaled : feas_tol;
+  }
+  /// Floor on the LU factorization's acceptable pivot magnitude: the
+  /// eliminations tolerate pivots down to this even when pivot_tol is set
+  /// tighter, because a structurally necessary small pivot is better than a
+  /// spurious singularity (deficient columns are repaired with logicals).
+  [[nodiscard]] double lu_pivot_floor() const noexcept {
+    const double floor = 1e-11;  // lint: allow-tolerance (definition site)
+    return pivot_tol > floor ? pivot_tol : floor;
+  }
+  /// Absolute tie window of the ratio tests (primal leaving row, dual
+  /// entering column): candidates within this band of the best step length
+  /// count as tied, and the tie-break (Bland's smallest index when stalling,
+  /// largest pivot magnitude otherwise) picks among them. Deliberately far
+  /// below feas_tol — it only has to separate genuinely equal steps from
+  /// roundoff-distinct ones, and widening it degenerates the ratio test.
+  [[nodiscard]] double ratio_tie_tol() const noexcept {
+    return 1e-12;  // lint: allow-tolerance (named-tolerance definition site)
   }
 };
 

@@ -441,6 +441,38 @@ TEST(ExptHarness, MidsizeExactSweepCertificatesAreCoherent) {
   }
 }
 
+// Phase-ledger attribution across cells sharing a thread (the regression the
+// thread-local snapshot delta protects against): an accumulator only grows
+// over a thread's lifetime, so a delta bug would make later cells on the same
+// thread report phase totals covering earlier cells too. Solver-tier phases
+// are disjoint and lie strictly inside the timed solve, so each record must
+// satisfy phase_total <= its own time_ms (plus clock-granularity slack).
+// threads=1 exercises the inline path (every cell reuses the calling
+// thread's accumulator); threads=2 exercises pool-worker reuse.
+TEST(ExptHarness, PhaseDeltasStayWithinOwnCellTime) {
+  for (const std::size_t threads : {1u, 2u}) {
+    ExperimentPlan plan;
+    plan.presets = {"unrelated-small"};
+    plan.solvers = {"exact-dive"};
+    plan.seed_begin = 1;
+    plan.seed_end = 4;
+    plan.time_limit_s = 0.5;
+    plan.threads = threads;
+    plan.record_timing = true;
+    const std::vector<RunRecord> records = run_experiment(plan);
+    ASSERT_EQ(records.size(), 4u);
+    for (const RunRecord& r : records) {
+      ASSERT_EQ(r.status, RunStatus::kOk) << r.error;
+      const double solver_tier = r.phase_ms[obs::Phase::kRootBound] +
+                                 r.phase_ms[obs::Phase::kDive] +
+                                 r.phase_ms[obs::Phase::kProve];
+      EXPECT_LE(solver_tier, r.time_ms * 1.05 + 5.0)
+          << "threads=" << threads << " seed=" << r.seed
+          << ": phase total exceeds the cell's own wall time";
+    }
+  }
+}
+
 // --- aggregation -----------------------------------------------------------
 
 RunRecord bucket_record(const std::string& solver, const std::string& preset,

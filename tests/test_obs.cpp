@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <map>
 #include <sstream>
@@ -89,6 +90,53 @@ TEST(ObsPhase, TimerAccumulatesOnlyWhenEnabled) {
   EXPECT_GT(delta[Phase::kLpFtran], 0.0);
   EXPECT_DOUBLE_EQ(delta[Phase::kLpBtran], 0.0);
 #endif
+}
+
+// Regression pin for the harness's per-cell attribution: phase_ms is the
+// delta of two thread-local snapshots taken around solve(), so a pool worker
+// that runs several cells back-to-back must never leak cell A's phase time
+// into cell B's delta even though the worker's accumulator only ever grows.
+TEST(PhaseLedger, WorkerReuseKeepsCellDeltasDisjoint) {
+  const GateGuard guard;
+  set_timing_enabled(true);
+  constexpr std::size_t kCells = 8;  // 8 cells on 2 workers => heavy reuse
+  std::array<PhaseTimes, kCells> deltas;
+  ThreadPool pool(2);
+  pool.parallel_for_dynamic(0, kCells, [&deltas](std::size_t cell) {
+    const PhaseTimes before = phase_snapshot();
+    // Direct accumulator write: deterministic, gate-independent stand-in for
+    // the PhaseTimer spans a real solve would record on this worker.
+    internal::local_phase_times()[static_cast<Phase>(cell)] +=
+        5.0 + static_cast<double>(cell);
+    deltas[cell] = phase_snapshot() - before;  // slot-exclusive, like records
+  });
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const double expected =
+          p == cell ? 5.0 + static_cast<double>(cell) : 0.0;
+      EXPECT_DOUBLE_EQ(deltas[cell].ms[p], expected)
+          << "cell " << cell << " phase " << phase_name(static_cast<Phase>(p));
+    }
+  }
+}
+
+// Same property on one thread across sequential "cells" (the --all task path
+// and threads=1 sweeps): each delta covers exactly its own cell.
+TEST(PhaseLedger, SequentialCellsOnOneThreadStayDisjoint) {
+  const GateGuard guard;
+  set_timing_enabled(true);
+  const PhaseTimes before_a = phase_snapshot();
+  internal::local_phase_times()[Phase::kDive] += 3.0;
+  const PhaseTimes delta_a = phase_snapshot() - before_a;
+
+  const PhaseTimes before_b = phase_snapshot();
+  internal::local_phase_times()[Phase::kProve] += 4.0;
+  const PhaseTimes delta_b = phase_snapshot() - before_b;
+
+  EXPECT_DOUBLE_EQ(delta_a[Phase::kDive], 3.0);
+  EXPECT_DOUBLE_EQ(delta_a[Phase::kProve], 0.0);
+  EXPECT_DOUBLE_EQ(delta_b[Phase::kProve], 4.0);
+  EXPECT_DOUBLE_EQ(delta_b[Phase::kDive], 0.0) << "cell A leaked into cell B";
 }
 
 #ifndef SETSCHED_OBS_DISABLED

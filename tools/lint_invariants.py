@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint for setsched (runs as ctest `test_lint`).
+
+Four rules, each protecting an invariant the compiler cannot see:
+
+  float-eq     No floating-point ==/!= against a nonzero decimal literal in
+               src/lp or src/exact. Exact-zero tests (`x == 0.0`) are sparse-
+               kernel idiom and stay legal, as do variable-to-variable
+               comparisons on input data (undetectable by a lexical lint and
+               intentionally exact in this codebase). Nonzero literal
+               comparisons are the footgun: they encode a tolerance of zero.
+               Suppress per line: `// lint: allow-float-eq (reason)`.
+
+  tolerance    No magic tolerance literals (scientific notation with a
+               negative exponent, e.g. 1e-9) in src/lp or src/exact outside
+               the named-tolerance definition sites (lp::SimplexOptions,
+               exact/tolerances.h). Everything else must spell a named
+               constant so tolerances stay auditable in one place.
+               Suppress per line: `// lint: allow-tolerance (reason)`,
+               or whole file: `// lint: allow-tolerance-file (reason)`.
+
+  counters     Every std::size_t counter in SolverStats (src/core/result.h)
+               must be plumbed through the record pipeline: src/expt/record.h,
+               src/expt/record_io.cpp, and docs/BENCH_SCHEMA.md. A counter
+               that stops here is silently dropped from every artifact.
+
+  raw-mutex    No naked std::mutex / lock / condition_variable types outside
+               src/common/annotations.h. Concurrency in src/ goes through the
+               annotated Mutex/MutexLock/CondVar wrappers so Clang's thread
+               safety analysis sees every lock site.
+               Suppress per line: `// lint: allow-raw-mutex (reason)`.
+
+Every suppression requires a non-empty reason in parentheses; a bare
+`lint: allow-*` marker is itself a violation. Exit status 0 iff clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+TOLERANCE_SCOPE = ("src/lp", "src/exact")
+FLOAT_EQ_SCOPE = ("src/lp", "src/exact")
+MUTEX_SCOPE = ("src",)
+MUTEX_EXEMPT = {"src/common/annotations.h"}
+
+COUNTER_SOURCE = "src/core/result.h"
+COUNTER_SINKS = ("src/expt/record.h", "src/expt/record_io.cpp",
+                 "docs/BENCH_SCHEMA.md")
+
+SUPPRESS_RE = re.compile(
+    r"lint:\s*allow-(?P<rule>tolerance-file|tolerance|float-eq|raw-mutex)"
+    # The reason may wrap to the next comment line, so accept end-of-line in
+    # place of the closing parenthesis.
+    r"(?:\s*\((?P<reason>[^)]*)(?:\)|$))?")
+
+# A float literal: has a '.' or an exponent (bare integers never match).
+FLOAT_LIT = r"[0-9]+\.[0-9]*(?:[eE][-+]?[0-9]+)?|\.[0-9]+(?:[eE][-+]?[0-9]+)?|[0-9]+[eE][-+]?[0-9]+"
+FLOAT_EQ_RE = re.compile(
+    r"(?:(?<![=!<>+\-*/])(?:==|!=)\s*(?P<rhs>{lit})\b)|"
+    r"(?:\b(?P<lhs>{lit})\s*(?:==|!=)(?![=]))".format(lit=FLOAT_LIT))
+TOLERANCE_RE = re.compile(r"\b[0-9]+(?:\.[0-9]*)?[eE]-[0-9]+\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd::(?:scoped_lock|lock_guard|unique_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+COUNTER_RE = re.compile(r"^\s*std::size_t\s+(\w+)\s*=")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, path: pathlib.Path, line_no: int, rule: str, msg: str):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{line_no}: [{rule}] {msg}")
+
+    def scan_file(self, path: pathlib.Path):
+        rel = path.relative_to(self.root).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+
+        # Suppressions are read from the raw text (they live in comments).
+        line_allows: dict[int, set[str]] = {}
+        file_allows: set[str] = set()
+        for idx, line in enumerate(raw_lines, start=1):
+            for m in SUPPRESS_RE.finditer(line):
+                rule = m.group("rule")
+                reason = (m.group("reason") or "").strip()
+                if not reason:
+                    self.report(path, idx, "suppression",
+                                f"allow-{rule} marker without a reason; "
+                                "write `lint: allow-" + rule + " (why)`")
+                    continue
+                if rule == "tolerance-file":
+                    file_allows.add("tolerance")
+                else:
+                    line_allows.setdefault(idx, set()).add(rule)
+
+        code_lines = strip_comments_and_strings(raw).splitlines()
+
+        in_tol_scope = rel.startswith(TOLERANCE_SCOPE)
+        in_eq_scope = rel.startswith(FLOAT_EQ_SCOPE)
+        in_mutex_scope = (rel.startswith(MUTEX_SCOPE)
+                          and rel not in MUTEX_EXEMPT)
+
+        for idx, line in enumerate(code_lines, start=1):
+            allows = line_allows.get(idx, set())
+            if in_eq_scope and "float-eq" not in allows:
+                for m in FLOAT_EQ_RE.finditer(line):
+                    lit = m.group("rhs") or m.group("lhs")
+                    if float(lit) == 0.0:
+                        continue  # exact-zero sparsity checks are idiom
+                    self.report(
+                        path, idx, "float-eq",
+                        f"floating-point equality against nonzero literal "
+                        f"{lit}; compare with a named tolerance instead")
+            if (in_tol_scope and "tolerance" not in file_allows
+                    and "tolerance" not in allows):
+                for m in TOLERANCE_RE.finditer(line):
+                    self.report(
+                        path, idx, "tolerance",
+                        f"magic tolerance literal {m.group(0)}; hoist it into "
+                        "lp::SimplexOptions or exact/tolerances.h (or "
+                        "annotate `lint: allow-tolerance (reason)`)")
+            if in_mutex_scope and "raw-mutex" not in allows:
+                m = RAW_MUTEX_RE.search(line)
+                if m:
+                    self.report(
+                        path, idx, "raw-mutex",
+                        f"naked {m.group(0)} outside common/annotations.h; "
+                        "use the annotated Mutex/MutexLock/CondVar wrappers")
+
+    def check_counters(self):
+        source = self.root / COUNTER_SOURCE
+        counters = []
+        for idx, line in enumerate(source.read_text().splitlines(), start=1):
+            m = COUNTER_RE.match(line)
+            if m:
+                counters.append((m.group(1), idx))
+        if not counters:
+            self.report(source, 1, "counters",
+                        "found no std::size_t counters in SolverStats; "
+                        "the lint's parser is out of date")
+            return
+        sink_texts = {}
+        for sink in COUNTER_SINKS:
+            sink_path = self.root / sink
+            if not sink_path.exists():
+                self.report(source, 1, "counters",
+                            f"record-pipeline file {sink} is missing")
+                return
+            sink_texts[sink] = sink_path.read_text()
+        for name, line_no in counters:
+            for sink, text in sink_texts.items():
+                if not re.search(rf"\b{re.escape(name)}\b", text):
+                    self.report(
+                        source, line_no, "counters",
+                        f"SolverStats counter '{name}' is not plumbed "
+                        f"through {sink}; every counter must reach the "
+                        "record pipeline and its schema docs")
+
+    def run(self) -> int:
+        files = sorted((self.root / "src").rglob("*.h"))
+        files += sorted((self.root / "src").rglob("*.cpp"))
+        for path in files:
+            self.scan_file(path)
+        self.check_counters()
+        if self.violations:
+            for v in self.violations:
+                print(v)
+            print(f"\nlint_invariants: {len(self.violations)} violation(s)")
+            return 1
+        print(f"lint_invariants: OK ({len(files)} files scanned)")
+        return 0
+
+
+def self_test() -> int:
+    """Seed a fake tree with one violation per rule and assert each fires.
+
+    Guards against the lint rotting into a tautology: a regex edit that stops
+    a rule from matching anything would otherwise keep `test_lint` green.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "src/lp").mkdir(parents=True)
+        (root / "src/core").mkdir(parents=True)
+        (root / "src/expt").mkdir(parents=True)
+        (root / "docs").mkdir(parents=True)
+        (root / "src/lp/bad.cpp").write_text(
+            "void f(double x) {\n"
+            "  if (x == 1.5) {}\n"                      # float-eq fires
+            "  if (x == 0.0) {}\n"                      # zero: stays legal
+            "  double tol = 1e-9;\n"                    # tolerance fires
+            "  double named = 1e-7;  // lint: allow-tolerance (self-test)\n"
+            "  double bare = 1e-8;   // lint: allow-tolerance\n"  # no reason
+            "  std::mutex m;\n"                         # raw-mutex fires
+            "}\n")
+        (root / "src/core/result.h").write_text(
+            "struct SolverStats {\n  std::size_t ghost_counter = 0;\n};\n")
+        (root / "src/expt/record.h").write_text("// no counters\n")
+        (root / "src/expt/record_io.cpp").write_text("// no counters\n")
+        (root / "docs/BENCH_SCHEMA.md").write_text("no counters\n")
+
+        linter = Linter(root)
+        for path in sorted((root / "src").rglob("*.cpp")):
+            linter.scan_file(path)
+        for path in sorted((root / "src").rglob("*.h")):
+            linter.scan_file(path)
+        linter.check_counters()
+
+        text = "\n".join(linter.violations)
+        expectations = {
+            "float-eq": "1.5",
+            "tolerance": "1e-9",
+            "suppression": "without a reason",
+            "raw-mutex": "std::mutex",
+            "counters": "ghost_counter",
+        }
+        failed = False
+        for rule, needle in expectations.items():
+            hits = [v for v in linter.violations
+                    if f"[{rule}]" in v and needle in v]
+            if not hits:
+                print(f"self-test FAILED: rule '{rule}' did not fire "
+                      f"(expected a violation mentioning '{needle}')")
+                failed = True
+        for legal in ("0.0", "1e-7"):
+            if any(legal in v and "[float-eq]" in v or
+                   ("[tolerance]" in v and f" {legal};" in v)
+                   for v in linter.violations):
+                print(f"self-test FAILED: legal pattern '{legal}' flagged")
+                failed = True
+        if failed:
+            print(text)
+            return 1
+    print("lint_invariants: self-test OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on a seeded fake tree "
+                             "before scanning the real one")
+    args = parser.parse_args()
+    if args.self_test:
+        status = self_test()
+        if status != 0:
+            return status
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"lint_invariants: no src/ under {root}", file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
