@@ -72,6 +72,17 @@ constexpr Preset kPresets[] = {
      [](std::uint64_t seed) {
        return ProblemInput::from_unrelated(generate_unrelated({}, seed));
      }},
+    {"unrelated-tiny",
+     [](std::uint64_t seed) {
+       // Brute-forceable scale (m^n enumerable in test time): the preset the
+       // branch-and-price differential tests compare against exhaustive
+       // enumeration and the config-vs-assignment root-bound dominance check.
+       UnrelatedGenParams params;
+       params.num_jobs = 10;
+       params.num_machines = 3;
+       params.num_classes = 3;
+       return ProblemInput::from_unrelated(generate_unrelated(params, seed));
+     }},
 };
 
 }  // namespace

@@ -83,6 +83,9 @@ SolverStats exact_stats(const ExactResult& result) {
   stats.lp_audits_suspect = result.lp_audits_suspect;
   stats.lp_recoveries = result.lp_recoveries;
   stats.lp_oracle_fallbacks = result.lp_oracle_fallbacks;
+  stats.cg_columns = result.cg_columns;
+  stats.cg_pricing_rounds = result.cg_pricing_rounds;
+  stats.cg_fallbacks = result.cg_fallbacks;
   stats.proven_optimal = result.proven_optimal;
   stats.gap = result.gap;
   return stats;
@@ -231,6 +234,28 @@ void register_builtin_solvers(SolverRegistry& registry) {
   add("exact", nullptr,
       [](const ProblemInput& input, const SolverContext& context) {
         ExactOptions options;
+        options.time_limit_s = context.time_limit_s;
+        options.initial_upper_bound = unrelated_upper_bound(input.instance);
+        options.lp_algorithm = context.lp_algorithm;
+        options.lp_pricing = context.lp_pricing;
+        options.fault_plan = armed_plan(context);
+        options.deadline = context.deadline;
+        const ExactResult result = solve_exact(input.instance, options);
+        return finish(input.instance, result.schedule, exact_stats(result));
+      });
+  add("branch-and-price", nullptr,
+      [](const ProblemInput& input, const SolverContext& context) {
+        ExactOptions options;
+        // Configuration-LP bounds (exact/config_bound.h) on top of the
+        // assignment probes, riding the dive-then-prove chain: the dive's
+        // incumbent tightens the cutoff the config-LP root bisection works
+        // against, and the fine-grid root pass pushes the certified bound
+        // past what the assignment LP can see. kAuto demotes the per-node
+        // pricing back to assignment-only when it is not earning its keep,
+        // so the solver is never worse than `dive-then-prove` by more than
+        // the root bisection's cost.
+        options.mode = ExactMode::kDiveThenProve;
+        options.bound = BoundMode::kAuto;
         options.time_limit_s = context.time_limit_s;
         options.initial_upper_bound = unrelated_upper_bound(input.instance);
         options.lp_algorithm = context.lp_algorithm;

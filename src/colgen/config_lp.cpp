@@ -13,22 +13,50 @@
 
 namespace setsched {
 
-namespace {
-
-struct PricedConfig {
-  double value = 0.0;           ///< Σ duals of covered jobs
-  std::vector<JobId> jobs;
-};
-
-/// Exact knapsack-with-class-opening-costs on the scaled grid.
-/// Weights are rounded up, so any returned set truly fits in T.
-PricedConfig price_machine(const Instance& inst, MachineId i, double T,
-                           const std::vector<double>& dual, std::size_t grid,
-                           double tol) {
+PricedConfig price_machine_config(const Instance& inst, MachineId i, double T,
+                                  const std::vector<double>& dual,
+                                  std::size_t grid, double tol,
+                                  const std::vector<MachineId>* pinned) {
   const double unit = T / static_cast<double>(grid);
   const auto weight_of = [&](double x) -> std::size_t {
     return static_cast<std::size_t>(std::ceil(x / unit - 1e-12));
   };
+
+  PricedConfig best;
+
+  // Jobs pinned to this machine are mandatory: their weights and class
+  // openings are pre-committed (shrinking the free knapsack's capacity) and
+  // their duals credited unconditionally. Overflow of the mandatory set
+  // alone certifies pins_fit = false (see config_lp.h).
+  std::size_t cap = grid;
+  double mandatory_value = 0.0;
+  std::vector<JobId> mandatory;
+  std::vector<char> class_pinned_open(inst.num_classes(), 0);
+  if (pinned != nullptr) {
+    std::size_t used = 0;
+    for (JobId j = 0; j < inst.num_jobs(); ++j) {
+      if ((*pinned)[j] != i) continue;
+      const ClassId k = inst.job_class(j);
+      const double p = inst.proc(i, j);
+      const double s = inst.setup(i, k);
+      if (p >= kInfinity || s >= kInfinity) {
+        best.pins_fit = false;  // ineligible pin: no configuration exists
+        return best;
+      }
+      if (!class_pinned_open[k]) {
+        class_pinned_open[k] = 1;
+        used += weight_of(s);
+      }
+      used += weight_of(p);
+      mandatory_value += dual[j];
+      mandatory.push_back(j);
+    }
+    if (used > grid) {
+      best.pins_fit = false;
+      return best;
+    }
+    cap = grid - used;
+  }
 
   struct Item {
     JobId job;
@@ -44,26 +72,32 @@ PricedConfig price_machine(const Instance& inst, MachineId i, double T,
   {
     const auto by_class = inst.jobs_by_class();
     for (ClassId k = 0; k < inst.num_classes(); ++k) {
+      // A class opened by a mandatory job admits its free jobs setup-free.
+      const bool pinned_open = class_pinned_open[k] != 0;
       const double s = inst.setup(i, k);
-      if (s >= kInfinity || s > T) continue;
-      ClassStage stage{k, weight_of(s), {}};
+      if (!pinned_open && (s >= kInfinity || s > T)) continue;
+      ClassStage stage{k, pinned_open ? 0 : weight_of(s), {}};
       for (const JobId j : by_class[k]) {
+        if (pinned != nullptr && (*pinned)[j] != kUnassigned) continue;
         if (dual[j] <= tol) continue;
         const double p = inst.proc(i, j);
         if (p >= kInfinity || p > T) continue;
         const std::size_t w = weight_of(p);
-        if (stage.setup_weight + w > grid) continue;
+        if (stage.setup_weight + w > cap) continue;
         stage.items.push_back({j, w, dual[j]});
       }
       if (!stage.items.empty()) stages.push_back(std::move(stage));
     }
   }
 
-  PricedConfig best;
-  if (stages.empty()) return best;
+  if (stages.empty()) {
+    best.value = mandatory_value;
+    best.jobs = std::move(mandatory);
+    return best;
+  }
 
   // Forward: dp tables at class boundaries (capacity semantics, monotone).
-  const std::size_t width = grid + 1;
+  const std::size_t width = cap + 1;
   std::vector<std::vector<double>> boundary(stages.size() + 1,
                                             std::vector<double>(width, 0.0));
   const auto run_class = [&](const ClassStage& stage,
@@ -98,11 +132,19 @@ PricedConfig price_machine(const Instance& inst, MachineId i, double T,
     }
   }
 
-  best.value = boundary[stages.size()][grid];
-  if (best.value <= tol) return best;
+  const double free_value = boundary[stages.size()][cap];
+  if (free_value <= tol) {
+    // No worthwhile free configuration. Without pins this is the legacy
+    // "empty column" answer; with mandatory jobs the pinned set itself is
+    // still a valid (and required) configuration.
+    best.value = mandatory_value;
+    best.jobs = std::move(mandatory);
+    return best;
+  }
+  best.value = free_value + mandatory_value;
 
   // Backtrack, recomputing each class's inner table with choice flags.
-  std::size_t w = grid;
+  std::size_t w = cap;
   for (std::size_t s = stages.size(); s-- > 0;) {
     const auto& before = boundary[s];
     const auto& after = boundary[s + 1];
@@ -120,10 +162,9 @@ PricedConfig price_machine(const Instance& inst, MachineId i, double T,
     check(w >= stage.setup_weight, "pricing backtrack below setup weight");
     w -= stage.setup_weight;
   }
+  best.jobs.insert(best.jobs.end(), mandatory.begin(), mandatory.end());
   return best;
 }
-
-}  // namespace
 
 ConfigLpResult solve_config_lp(const Instance& instance, double T,
                                const ConfigLpOptions& options) {
@@ -170,8 +211,8 @@ ConfigLpResult solve_config_lp(const Instance& instance, double T,
     // --- pricing (parallel across machines) ---
     std::vector<PricedConfig> priced(m);
     const auto price_one = [&](std::size_t i) {
-      priced[i] = price_machine(instance, static_cast<MachineId>(i), T,
-                                dual_job, options.grid, options.tol);
+      priced[i] = price_machine_config(instance, static_cast<MachineId>(i), T,
+                                       dual_job, options.grid, options.tol);
     };
     {
       const obs::PhaseTimer phase(obs::Phase::kColgenPricing);
@@ -280,15 +321,19 @@ RoundingResult randomized_rounding_config(const Instance& instance,
 
   // The grid is conservative: an integral schedule's makespan may be
   // rejected; widen hi until the config LP accepts.
+  // lp_solves/lp_iterations report the actual RMP work: every outer
+  // solve_config_lp call accumulates its inner per-round counters (an
+  // earlier version counted outer calls as one solve each, so the registry
+  // path dropped the colgen effort entirely).
   ConfigLpResult at_hi = solve_config_lp(instance, hi, config);
-  out.lp_solves = 1;
+  out.lp_solves = at_hi.lp_solves;
   out.lp_iterations = at_hi.simplex_iterations;
   std::size_t widenings = 0;
   while (at_hi.status != ConfigLpStatus::kFeasible && widenings < 8) {
     hi *= 1.3;
     ++widenings;
-    ++out.lp_solves;
     at_hi = solve_config_lp(instance, hi, config);
+    out.lp_solves += at_hi.lp_solves;
     out.lp_iterations += at_hi.simplex_iterations;
   }
   check(at_hi.status == ConfigLpStatus::kFeasible,
@@ -297,8 +342,8 @@ RoundingResult randomized_rounding_config(const Instance& instance,
   FractionalAssignment best = std::move(at_hi.fractional);
   while (hi / lo > 1.0 + rounding.search_precision) {
     const double mid = std::sqrt(lo * hi);
-    ++out.lp_solves;
     ConfigLpResult probe = solve_config_lp(instance, mid, config);
+    out.lp_solves += probe.lp_solves;
     out.lp_iterations += probe.simplex_iterations;
     if (probe.status == ConfigLpStatus::kFeasible) {
       hi = mid;

@@ -53,6 +53,38 @@ struct ConfigLpResult {
 [[nodiscard]] ConfigLpResult solve_config_lp(const Instance& instance, double T,
                                              const ConfigLpOptions& options = {});
 
+/// One priced configuration column for a machine (the pricing subproblem's
+/// optimum): the covered job set and its total dual value.
+struct PricedConfig {
+  double value = 0.0;  ///< Σ duals of covered jobs (mandatory jobs included)
+  std::vector<JobId> jobs;
+  /// Pin feasibility certificate (branch-and-price only; always true when no
+  /// pins are passed): false means the jobs *pinned to this machine* alone
+  /// overflow the grid at T. Because weights are rounded up at an inflated
+  /// probe T (exact/config_bound.h picks T so any truly-T-feasible set
+  /// rounds within the grid), overflow of the mandatory subset certifies
+  /// that machine's true load exceeds T in EVERY completion of the partial
+  /// schedule — a sound prune.
+  bool pins_fit = true;
+};
+
+/// Exact knapsack-with-class-opening-costs pricing for one machine on the
+/// scaled grid (weights rounded up, so any returned set truly fits in T).
+/// This is the pricing subproblem of solve_config_lp(), exposed for the
+/// branch-and-price bounder (exact/config_bound.h).
+///
+/// `pinned` (optional, size n, kUnassigned = free) restricts the priced
+/// configuration to ones consistent with a partial schedule: jobs pinned to
+/// machine `i` are MANDATORY (always included, their class openings and
+/// weights pre-committed, their duals credited even when below `tol`), jobs
+/// pinned elsewhere are EXCLUDED. Without pins a value below `tol` returns
+/// an empty job set (no worthwhile configuration); with mandatory jobs the
+/// pinned set is always returned so the RMP can cover pinned jobs.
+[[nodiscard]] PricedConfig price_machine_config(
+    const Instance& instance, MachineId i, double T,
+    const std::vector<double>& dual, std::size_t grid, double tol,
+    const std::vector<MachineId>* pinned = nullptr);
+
 /// Theorem 3.3 rounding driven by the configuration LP instead of the direct
 /// assignment LP: binary-searches the smallest grid-feasible T, then runs
 /// the unchanged randomized rounding on the recovered fractional solution.

@@ -35,6 +35,16 @@ struct SolverStats {
   /// LP guard: contested solves escalated all the way to the dense tableau
   /// oracle (the ladder's last rung).
   std::size_t lp_oracle_fallbacks = 0;
+  /// Branch-and-price (exact/config_bound.h; 0 for every other solver):
+  /// configuration columns priced into the restricted master across the
+  /// whole search.
+  std::size_t cg_columns = 0;
+  /// Branch-and-price: pricing rounds across all configuration-LP probes
+  /// (each runs one RMP solve plus one all-machines knapsack pass).
+  std::size_t cg_pricing_rounds = 0;
+  /// Branch-and-price: config-LP probes demoted to the assignment bound —
+  /// contested RMP solves, pricing stalls, and kAuto's permanent demotion.
+  std::size_t cg_fallbacks = 0;
   /// True only when the solver certified its schedule optimal. A search
   /// solver that ran out of budget MUST leave this false — consumers treat
   /// proven results as ground truth.

@@ -9,6 +9,7 @@
 #include "core/bounds.h"
 #include "core/schedule.h"
 #include "exact/chain.h"
+#include "exact/config_bound.h"
 #include "exact/dive.h"
 #include "exact/dominance.h"
 #include "exact/lp_bound.h"
@@ -21,6 +22,7 @@ namespace setsched {
 
 namespace {
 
+using exact::ConfigLpBounder;
 using exact::DominanceTable;
 using exact::LpBounder;
 using exact::SearchPlan;
@@ -85,6 +87,69 @@ class ProveSolver {
       }
     }
 
+    // Branch-and-price: the configuration-LP bounder prices columns against
+    // the same cutoff. Its root bisection runs AFTER the assignment LP's
+    // exact root solve, so the combined certified bound dominates the
+    // assignment bound by construction; kAuto drops the config bounder on
+    // the spot when that bisection bought nothing.
+    if (opt_.use_lp_bounds && opt_.bound != BoundMode::kAssignment &&
+        prune_at_ > 0.0 && !incumbent_meets_lb()) {
+      const obs::PhaseTimer phase(obs::Phase::kRootBound);
+      const obs::TraceSpan span("cg_root_bound", "exact");
+      exact::ConfigBoundOptions cg;
+      cg.grid = opt_.cg_grid;
+      cg.rounds_per_node = opt_.cg_rounds_per_node;
+      cg.root_probes = opt_.cg_root_probes;
+      cg.simplex.algorithm = opt_.lp_algorithm;
+      cg.simplex.pricing = opt_.lp_pricing;
+      cg.simplex.fault_plan = opt_.fault_plan;
+      cg_bounder_.emplace(inst_, prune_at_, cg);
+      if (cg_bounder_->available()) {
+        const double base = lower_bound_;
+        double cg_lb = cg_bounder_->root_lower_bound(base, prune_at_);
+        if (opt_.cg_root_grid > opt_.cg_grid) {
+          // Fine-grid root pass: a throwaway bounder whose smaller
+          // conservative inflation certifies what the coarse grid cannot.
+          // Wall clock capped at half the remaining budget so it can never
+          // starve the prove phase; its effort folds into the cg counters.
+          exact::ConfigBoundOptions fine = cg;
+          fine.grid = opt_.cg_root_grid;
+          const double left =
+              opt_.time_limit_s - timer_.elapsed_seconds();
+          if (left > 0.0) {
+            auto fine_deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(0.5 * left));
+            if (opt_.deadline && *opt_.deadline < fine_deadline) {
+              fine_deadline = *opt_.deadline;
+            }
+            fine.deadline = fine_deadline;
+            exact::ConfigLpBounder fine_bounder(inst_, prune_at_, fine);
+            if (fine_bounder.available()) {
+              cg_lb = std::max(
+                  cg_lb,
+                  fine_bounder.root_lower_bound(std::max(base, cg_lb),
+                                                prune_at_));
+              cg_extra_columns_ += fine_bounder.columns();
+              cg_extra_rounds_ += fine_bounder.pricing_rounds();
+              cg_extra_fallbacks_ += fine_bounder.fallbacks();
+            }
+          }
+        }
+        lower_bound_ = std::max(lower_bound_, cg_lb);
+        cg_active_ = true;
+        if (opt_.bound == BoundMode::kAuto &&
+            cg_lb <= base + exact::kCgRootGapRelTol * std::max(1.0, base)) {
+          // Root bound no better than the assignment LP's: demote for the
+          // whole search instead of paying per-node pricing for nothing.
+          cg_active_ = false;
+          ++cg_extra_fallbacks_;
+        }
+      }
+    }
+
     if (!incumbent_meets_lb()) {
       const obs::PhaseTimer phase(obs::Phase::kProve);
       const obs::TraceSpan span("prove", "exact");
@@ -109,6 +174,12 @@ class ProveSolver {
       out.lp_audits_suspect = bounder_->audits_suspect();
       out.lp_recoveries = bounder_->recoveries();
       out.lp_oracle_fallbacks = bounder_->oracle_fallbacks();
+    }
+    if (cg_bounder_) {
+      out.cg_columns = cg_bounder_->columns() + cg_extra_columns_;
+      out.cg_pricing_rounds =
+          cg_bounder_->pricing_rounds() + cg_extra_rounds_;
+      out.cg_fallbacks = cg_bounder_->fallbacks() + cg_extra_fallbacks_;
     }
     exact::certify(&out, lower_bound_, !aborted_);
     return out;
@@ -210,14 +281,40 @@ class ProveSolver {
     // cost exceeds the incumbent gap are excluded for this whole subtree
     // (undone on exit; the cutoff only tightens, so fixes stay valid).
     const std::size_t fix_base = fix_undo_.size();
-    if (bounder_ && depth > 0 && depth <= opt_.lp_bound_depth) {
-      if (!bounder_->feasible(prune_at_)) {
-        emit_node("lp_infeasible", depth);
+    const bool lp_probed =
+        bounder_ && depth > 0 && depth <= opt_.lp_bound_depth;
+    if (lp_probed && !bounder_->feasible(prune_at_)) {
+      emit_node("lp_infeasible", depth);
+      return;
+    }
+
+    // Branch-and-price probe, AFTER the assignment probe (it only has to
+    // catch what the weaker relaxation missed): prices pin-consistent
+    // configuration columns until the RMP certifies the pinned partial
+    // schedule cannot finish within the cutoff. A demoted probe (stall /
+    // contested RMP) answers "no bound" inside feasible().
+    if (cg_active_ && depth > 0 && depth <= opt_.cg_bound_depth) {
+      if (!cg_bounder_->feasible(prune_at_)) {
+        emit_node("cg_infeasible", depth);
         return;
       }
-      if (opt_.reduced_cost_fixing) {
-        bounder_->fix_dominated(prune_at_, &fix_undo_);
+      if (opt_.bound == BoundMode::kAuto &&
+          cg_bounder_->consecutive_stalls() >= exact::kCgAutoStallLimit) {
+        // Pricing keeps hitting the round limit without a verdict: stop
+        // paying for config probes for the rest of the search.
+        cg_active_ = false;
+        ++cg_extra_fallbacks_;
       }
+    }
+
+    // Node reduced-cost fixing only after EVERY probe agreed the node
+    // survives: fixes appended here are scoped to this node's pins, and an
+    // early prune-return above would leak them into the node's siblings
+    // (the unfix below never runs), excluding pairs that are perfectly
+    // viable there. The fixing reuses the duals of the assignment probe's
+    // solve, which the config probe does not disturb.
+    if (lp_probed && opt_.reduced_cost_fixing) {
+      bounder_->fix_dominated(prune_at_, &fix_undo_);
     }
 
     emit_node("expanded", depth);
@@ -250,6 +347,7 @@ class ProveSolver {
 
     const double next_remaining = remaining_min - plan_.min_proc[j];
     const bool pin = bounder_ && depth < opt_.lp_bound_depth;
+    const bool cg_pin = cg_active_ && depth < opt_.cg_bound_depth;
     for (const Option& o : options) {
       // The cutoff may have tightened — and refix_root may have excluded
       // this pair — while earlier siblings ran.
@@ -263,9 +361,11 @@ class ProveSolver {
       flag = 1;
       current_.assignment[j] = i;
       if (pin) bounder_->pin(j, i);
+      if (cg_pin) cg_bounder_->pin(j, i);
 
       dfs(depth + 1, std::max(current_max, o.new_load), next_remaining);
 
+      if (cg_pin) cg_bounder_->unpin(j);
       if (pin) bounder_->unpin(j);
       current_.assignment[j] = kUnassigned;
       flag = old_flag;
@@ -284,6 +384,16 @@ class ProveSolver {
 
   SearchPlan plan_;
   std::optional<LpBounder> bounder_;
+  std::optional<ConfigLpBounder> cg_bounder_;
+  /// Config probes run only while true; kAuto clears it (permanent demotion)
+  /// when the bounder stops earning its keep. The bounder object outlives
+  /// the flag so unwinding unpins — and the final counters — stay valid.
+  bool cg_active_ = false;
+  std::size_t cg_extra_fallbacks_ = 0;
+  /// Effort of the throwaway fine-grid root bounder (folded into the
+  /// reported cg counters; the bounder itself does not outlive the root).
+  std::size_t cg_extra_columns_ = 0;
+  std::size_t cg_extra_rounds_ = 0;
   std::optional<DominanceTable> memo_;
   /// Reduced-cost fix trail: each node unfixes back to the size it saw on
   /// entry (root fixes at the front are permanent).

@@ -31,6 +31,23 @@ enum class ExactMode : std::uint8_t {
   kDiveThenProve,
 };
 
+/// Which LP relaxation bounds the prove search's nodes (use_lp_bounds must
+/// be on for any of them to act).
+enum class BoundMode : std::uint8_t {
+  /// Assignment-LP probes only (the PR 5 bounder) — the default.
+  kAssignment,
+  /// Branch-and-price: configuration-LP probes (exact/config_bound.h) run at
+  /// every LP-bounded node AFTER the assignment probe (so the combined bound
+  /// dominates the assignment bound by construction), and the root bound is
+  /// the max of both relaxations' certificates.
+  kConfig,
+  /// kConfig that demotes itself back to kAssignment when the config LP is
+  /// not earning its keep: a root bound no better than the assignment LP's,
+  /// or repeated pricing stalls at nodes. Each demotion counts into
+  /// cg_fallbacks.
+  kAuto,
+};
+
 struct ExactOptions {
   ExactMode mode = ExactMode::kProve;
   /// Node budget. Hitting it with unexplored branches left clears
@@ -111,6 +128,28 @@ struct ExactOptions {
   /// safe-pruning demotions are active regardless, so injected runs stay
   /// sound — they just burn recoveries and prune less.
   const lp::FaultPlan* fault_plan = nullptr;
+  /// Node-bound relaxation selector (branch-and-price lives behind kConfig /
+  /// kAuto; see BoundMode). Ignored unless use_lp_bounds.
+  BoundMode bound = BoundMode::kAssignment;
+  /// Config-LP probes run at depth <= cg_bound_depth only (they price a
+  /// knapsack per machine per round, so they are costlier than assignment
+  /// probes and amortize only near the top of the tree). Also the pin depth
+  /// of the config bounder.
+  std::size_t cg_bound_depth = 6;
+  /// Pricing grid of the config bounder (ConfigBoundOptions::grid).
+  std::size_t cg_grid = 2048;
+  /// Pricing rounds per config-LP node probe before it stalls to "no bound".
+  std::size_t cg_rounds_per_node = 6;
+  /// Probe budget of the config-LP root-bound bisection.
+  std::size_t cg_root_probes = 12;
+  /// Grid of the root-only fine bisection pass. The certified config bound
+  /// loses (n + classes)/grid to the conservative probe inflation, which at
+  /// mid-size instances eats most of the relaxation's edge over the
+  /// assignment LP — a one-off fine-grid pass at the root buys the bound
+  /// back at a cost that amortizes over the whole tree (node probes keep
+  /// the cheap cg_grid). Set <= cg_grid to disable the pass. Its wall clock
+  /// is capped at half the remaining budget.
+  std::size_t cg_root_grid = 16384;
 };
 
 /// Result contract of the exact subsystem. `proven_optimal` distinguishes
@@ -144,6 +183,14 @@ struct ExactResult {
   std::size_t lp_audits_suspect = 0;
   std::size_t lp_recoveries = 0;
   std::size_t lp_oracle_fallbacks = 0;
+  /// Branch-and-price effort (BoundMode kConfig/kAuto; 0 under kAssignment):
+  /// configuration columns priced into the RMP, pricing rounds across all
+  /// config-LP probes, and probes demoted to the assignment bound
+  /// (contested RMP solves, pricing stalls, and kAuto's permanent
+  /// demotion). See SolverStats for the record-pipeline echo.
+  std::size_t cg_columns = 0;
+  std::size_t cg_pricing_rounds = 0;
+  std::size_t cg_fallbacks = 0;
 };
 
 /// Exact / ground-truth solver over job -> machine assignments.

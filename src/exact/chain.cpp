@@ -46,6 +46,9 @@ ExactResult dive_then_prove(const Instance& inst, const ExactOptions& opt) {
   out.lp_audits_suspect += dive.lp_audits_suspect;
   out.lp_recoveries += dive.lp_recoveries;
   out.lp_oracle_fallbacks += dive.lp_oracle_fallbacks;
+  out.cg_columns += dive.cg_columns;
+  out.cg_pricing_rounds += dive.cg_pricing_rounds;
+  out.cg_fallbacks += dive.cg_fallbacks;
   if (!out.proven_optimal && dive.lower_bound > out.lower_bound) {
     certify(&out, dive.lower_bound, /*search_complete=*/false);
   }

@@ -34,6 +34,9 @@ struct Bucket {
   std::vector<double> audits_suspect;    // ok cells only
   std::vector<double> recoveries;        // ok cells only
   std::vector<double> oracle_fallbacks;  // ok cells only
+  std::vector<double> cg_columns;         // ok cells only
+  std::vector<double> cg_pricing_rounds;  // ok cells only
+  std::vector<double> cg_fallbacks;       // ok cells only
 };
 
 void write_double(std::ostream& os, double v) {
@@ -71,6 +74,10 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
         bucket.recoveries.push_back(static_cast<double>(r.lp_recoveries));
         bucket.oracle_fallbacks.push_back(
             static_cast<double>(r.lp_oracle_fallbacks));
+        bucket.cg_columns.push_back(static_cast<double>(r.cg_columns));
+        bucket.cg_pricing_rounds.push_back(
+            static_cast<double>(r.cg_pricing_rounds));
+        bucket.cg_fallbacks.push_back(static_cast<double>(r.cg_fallbacks));
         if (r.time_ms > 0.0) {
           bucket.lp_pct.push_back(100.0 * r.phase_ms.lp_ms() / r.time_ms);
           bucket.pricing_pct.push_back(
@@ -126,6 +133,9 @@ std::vector<AggregateSummary> aggregate(std::span<const RunRecord> records) {
     s.lp_audits_suspect_mean = mean(bucket.audits_suspect);
     s.lp_recoveries_mean = mean(bucket.recoveries);
     s.lp_oracle_fallbacks_mean = mean(bucket.oracle_fallbacks);
+    s.cg_columns_mean = mean(bucket.cg_columns);
+    s.cg_pricing_rounds_mean = mean(bucket.cg_pricing_rounds);
+    s.cg_fallbacks_mean = mean(bucket.cg_fallbacks);
     summaries.push_back(std::move(s));
   }
   return summaries;  // std::map iterates keys in (solver, preset) order
@@ -135,8 +145,8 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
   Table table({"solver", "preset", "cells", "ok", "skipped", "failed",
                "timeout", "proven", "gap_mean", "ratio_mean", "ratio_max",
                "time_p50_ms", "time_p95_ms", "lp_solves", "lp_iters",
-               "lp_dual", "fixed", "suspect", "recov", "oracle", "lp%",
-               "pricing%"});
+               "lp_dual", "fixed", "suspect", "recov", "oracle", "cg_cols",
+               "cg_rounds", "cg_fb", "lp%", "pricing%"});
   for (const AggregateSummary& s : summaries) {
     table.row()
         .add(s.solver)
@@ -159,6 +169,9 @@ Table summary_table(std::span<const AggregateSummary> summaries) {
         .add(s.lp_audits_suspect_mean, 1)
         .add(s.lp_recoveries_mean, 1)
         .add(s.lp_oracle_fallbacks_mean, 1)
+        .add(s.cg_columns_mean, 1)
+        .add(s.cg_pricing_rounds_mean, 1)
+        .add(s.cg_fallbacks_mean, 1)
         .add(s.lp_pct_mean, 1)
         .add(s.pricing_pct_mean, 1);
   }
@@ -229,6 +242,12 @@ void write_bench_json(std::ostream& os, const ExperimentPlan& plan,
     write_double(os, s.lp_recoveries_mean);
     os << ", \"lp_oracle_fallbacks_mean\": ";
     write_double(os, s.lp_oracle_fallbacks_mean);
+    os << ", \"cg_columns_mean\": ";
+    write_double(os, s.cg_columns_mean);
+    os << ", \"cg_pricing_rounds_mean\": ";
+    write_double(os, s.cg_pricing_rounds_mean);
+    os << ", \"cg_fallbacks_mean\": ";
+    write_double(os, s.cg_fallbacks_mean);
     os << ", \"lp_pct_mean\": ";
     write_double(os, s.lp_pct_mean);
     os << ", \"pricing_pct_mean\": ";

@@ -54,6 +54,12 @@ struct AggregateSummary {
   double lp_audits_suspect_mean = 0.0;
   double lp_recoveries_mean = 0.0;
   double lp_oracle_fallbacks_mean = 0.0;
+  /// Mean branch-and-price effort over the ok cells (exact/config_bound.h
+  /// counters): configuration columns priced, pricing rounds, and probes
+  /// demoted to the assignment bound. All 0 outside BoundMode kConfig/kAuto.
+  double cg_columns_mean = 0.0;
+  double cg_pricing_rounds_mean = 0.0;
+  double cg_fallbacks_mean = 0.0;
 
   [[nodiscard]] bool operator==(const AggregateSummary&) const = default;
 };

@@ -120,6 +120,9 @@ RunRecord run_cell(const ExperimentPlan& plan, const CellKey& key,
     record.lp_audits_suspect = result.stats.lp_audits_suspect;
     record.lp_recoveries = result.stats.lp_recoveries;
     record.lp_oracle_fallbacks = result.stats.lp_oracle_fallbacks;
+    record.cg_columns = result.stats.cg_columns;
+    record.cg_pricing_rounds = result.stats.cg_pricing_rounds;
+    record.cg_fallbacks = result.stats.cg_fallbacks;
     record.nodes = result.stats.nodes;
     record.lp_bounds_used = result.stats.lp_bounds_used;
     record.proven_optimal = result.stats.proven_optimal;

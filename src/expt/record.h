@@ -30,7 +30,7 @@ enum class RunStatus {
 /// One structured result row of an experiment sweep: the cell key
 /// (solver, preset, seed), the instance shape, the measured outcome, and an
 /// echo of the solver-context knobs so a record is self-describing. Streamed
-/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 29-key
+/// as JSONL/CSV by record_io.h and consumed by aggregate.h. The 32-key
 /// field-by-field schema is documented in docs/BENCH_SCHEMA.md.
 struct RunRecord {
   std::string solver;
@@ -69,6 +69,12 @@ struct RunRecord {
   std::size_t lp_audits_suspect = 0;  ///< post-solve audits contested
   std::size_t lp_recoveries = 0;      ///< recovered by warm/cold re-solve
   std::size_t lp_oracle_fallbacks = 0;  ///< escalated to the tableau oracle
+  // Branch-and-price counters (SolverStats echo; exact/config_bound.h).
+  // OPTIONAL on JSONL read, like the guard counters: lines written before
+  // the branch-and-price PR parse with zeros.
+  std::size_t cg_columns = 0;         ///< configuration columns priced in
+  std::size_t cg_pricing_rounds = 0;  ///< RMP solve + pricing passes
+  std::size_t cg_fallbacks = 0;       ///< probes demoted to assignment bound
 
   // Search certificate (SolverStats echo). Every record carries these so
   // quality tables can separate proven optima from budget-exhausted

@@ -178,10 +178,11 @@ RunRecord parse_record_line(std::string_view line) {
   LineParser p{line};
   RunRecord r;
   // Bitmask of the keys, in write_jsonl() order. Bits 0-24 are the required
-  // keys; bit 25 (phase_ms) and bits 26-28 (the LP guard counters) are
-  // OPTIONAL on read — lines written before the observability / safety-net
-  // PRs parse with an empty breakdown and zero counters — and their bits
-  // only guard against duplicates.
+  // keys; bit 25 (phase_ms), bits 26-28 (the LP guard counters), and bits
+  // 29-31 (the branch-and-price counters) are OPTIONAL on read — lines
+  // written before the observability / safety-net / branch-and-price PRs
+  // parse with an empty breakdown and zero counters — and their bits only
+  // guard against duplicates.
   unsigned seen = 0;
   const auto mark = [&](unsigned bit) {
     if (seen & (1u << bit)) p.fail("duplicate key");
@@ -258,6 +259,15 @@ RunRecord parse_record_line(std::string_view line) {
     } else if (key == "lp_oracle_fallbacks") {
       mark(28), r.lp_oracle_fallbacks =
                     to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "cg_columns") {
+      mark(29),
+          r.cg_columns = to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "cg_pricing_rounds") {
+      mark(30), r.cg_pricing_rounds =
+                    to_integer<std::size_t>(p.parse_number_token(), p);
+    } else if (key == "cg_fallbacks") {
+      mark(31),
+          r.cg_fallbacks = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "nodes") {
       mark(17), r.nodes = to_integer<std::size_t>(p.parse_number_token(), p);
     } else if (key == "lp_bounds_used") {
@@ -352,6 +362,9 @@ void write_jsonl(std::ostream& os, const RunRecord& r) {
   os << ",\"lp_audits_suspect\":" << r.lp_audits_suspect;
   os << ",\"lp_recoveries\":" << r.lp_recoveries;
   os << ",\"lp_oracle_fallbacks\":" << r.lp_oracle_fallbacks;
+  os << ",\"cg_columns\":" << r.cg_columns;
+  os << ",\"cg_pricing_rounds\":" << r.cg_pricing_rounds;
+  os << ",\"cg_fallbacks\":" << r.cg_fallbacks;
   os << ",\"nodes\":" << r.nodes;
   os << ",\"lp_bounds_used\":" << r.lp_bounds_used;
   os << ",\"proven_optimal\":" << (r.proven_optimal ? "true" : "false");
@@ -390,7 +403,7 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
   os << "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
         "lower_bound,ratio,setups,time_ms,phase_ms,lp_solves,lp_iterations,"
         "lp_dual_solves,fixed_vars,lp_audits_suspect,lp_recoveries,"
-        "lp_oracle_fallbacks,nodes,"
+        "lp_oracle_fallbacks,cg_columns,cg_pricing_rounds,cg_fallbacks,nodes,"
         "lp_bounds_used,proven_optimal,gap,epsilon,precision,time_limit_s,"
         "error\n";
   for (const RunRecord& r : records) {
@@ -426,7 +439,8 @@ void write_csv(std::ostream& os, std::span<const RunRecord> records) {
     os << ',' << r.lp_solves << ',' << r.lp_iterations << ','
        << r.lp_dual_solves << ',' << r.fixed_vars << ','
        << r.lp_audits_suspect << ',' << r.lp_recoveries << ','
-       << r.lp_oracle_fallbacks << ',' << r.nodes
+       << r.lp_oracle_fallbacks << ',' << r.cg_columns << ','
+       << r.cg_pricing_rounds << ',' << r.cg_fallbacks << ',' << r.nodes
        << ',' << r.lp_bounds_used << ','
        << (r.proven_optimal ? "true" : "false") << ',';
     write_double(os, r.gap);

@@ -65,12 +65,12 @@ ProblemInput small_class_uniform() {
 TEST(SolverRegistry, RegistersEveryBuiltinSolver) {
   const auto names = SolverRegistry::global().names();
   const char* expected[] = {
-      "assignment-lp", "best-machine",        "classuniform-3approx",
-      "colgen",        "cover-greedy",        "dive-then-prove",
-      "exact",         "exact-dive",          "greedy",
-      "greedy-classes", "local-search",       "lpt",
-      "lpt-plain",     "ptas",                "restricted-2approx",
-      "rounding",
+      "assignment-lp",  "best-machine", "branch-and-price",
+      "classuniform-3approx", "colgen", "cover-greedy",
+      "dive-then-prove", "exact",       "exact-dive",
+      "greedy",         "greedy-classes", "local-search",
+      "lpt",            "lpt-plain",    "ptas",
+      "restricted-2approx", "rounding",
   };
   for (const char* name : expected) {
     EXPECT_TRUE(SolverRegistry::global().contains(name)) << name;
@@ -211,6 +211,38 @@ TEST(SolverEndToEnd, ExactRegistryEntrySurfacesCertificate) {
     EXPECT_DOUBLE_EQ(dived.stats.gap, 0.0);
     EXPECT_NEAR(dived.makespan, proven.makespan, 1e-9);
   }
+}
+
+// Regression: randomized_rounding_config used to count its *outer*
+// solve_config_lp() calls in lp_solves instead of accumulating the inner
+// ConfigLpResult counters, so the colgen registry entry reported ~1 LP
+// solve per run regardless of how many RMP rounds the column generation
+// actually performed. The real effort must ride through SolverStats.
+TEST(SolverEndToEnd, ColgenRegistryEntrySurfacesLpEffort) {
+  const ProblemInput input = small_unrelated();
+  const auto colgen = SolverRegistry::global().create("colgen");
+  ASSERT_TRUE(colgen->supports(input));
+  const ScheduleResult result = colgen->solve(input, fast_context());
+  // The T-search runs several probes and each probe runs >= 1 RMP solve, so
+  // the accumulated count must exceed the old "number of outer calls == a
+  // handful, reported as 1 each" floor.
+  EXPECT_GT(result.stats.lp_solves, 1u);
+  EXPECT_GT(result.stats.lp_iterations, 0u);
+}
+
+// The branch-and-price registry entry carries the same certificate contract
+// as "exact" plus the column-generation effort counters.
+TEST(SolverEndToEnd, BranchAndPriceRegistryEntrySurfacesCgCounters) {
+  const ProblemInput input = small_unrelated();
+  const auto solver = SolverRegistry::global().create("branch-and-price");
+  ASSERT_TRUE(solver->supports(input));
+  const ScheduleResult result = solver->solve(input, fast_context());
+  EXPECT_TRUE(result.stats.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.stats.gap, 0.0);
+  EXPECT_GT(result.stats.nodes, 0u);
+  // bound=auto always probes the config LP at the root, so pricing rounds
+  // are nonzero even when it later demotes to the assignment bound.
+  EXPECT_GT(result.stats.cg_pricing_rounds, 0u);
 }
 
 TEST(CoverGreedy, CoversEveryJobAndPaysSetupsOnce) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "colgen/config_lp.h"
 #include "core/bounds.h"
 #include "core/generators.h"
@@ -150,6 +152,36 @@ TEST(ConfigRounding, ComparableToDirectLpRounding) {
   // grid); results should be within a small factor of each other.
   EXPECT_LE(config.makespan, 2.0 * direct.makespan + 1e-9);
   EXPECT_LE(direct.makespan, 2.0 * config.makespan + 1e-9);
+}
+
+// Regression: randomized_rounding_config used to set lp_solves to the
+// number of *outer* solve_config_lp calls (one per T-search probe), dropping
+// the inner per-round RMP counters on the floor. With the bisection disabled
+// (huge search_precision) the T-search makes exactly one outer call at hi,
+// so the reported effort must equal that call's inner counters — the old
+// code reported exactly 1.
+TEST(ConfigRounding, LpEffortCountersAccumulateInnerRounds) {
+  UnrelatedGenParams p;
+  p.num_jobs = 16;
+  p.num_machines = 4;
+  p.num_classes = 4;
+  const Instance inst = generate_unrelated(p, 60);
+  const double lo = assignment_lp_floor(inst);
+  const double hi = std::max(lo, unrelated_upper_bound(inst));
+  const ConfigLpResult probe = solve_config_lp(inst, hi);
+  // Preconditions for the equality below: the first probe is already
+  // feasible (no widening) and column generation ran more than one round.
+  ASSERT_EQ(probe.status, ConfigLpStatus::kFeasible);
+  ASSERT_GT(probe.lp_solves, 1u);
+  ASSERT_GT(probe.simplex_iterations, 0u);
+
+  RoundingOptions ropt;
+  ropt.seed = 1;
+  ropt.trials = 1;
+  ropt.search_precision = 1e9;  // hi/lo < 1 + precision: no bisection probes
+  const RoundingResult r = randomized_rounding_config(inst, ropt);
+  EXPECT_EQ(r.lp_solves, probe.lp_solves);
+  EXPECT_EQ(r.lp_iterations, probe.simplex_iterations);
 }
 
 TEST(ConfigLp, PricingHonorsSetupCosts) {

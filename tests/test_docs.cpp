@@ -110,7 +110,7 @@ TEST(Docs, BenchSchemaDocumentsEveryJsonlKey) {
     EXPECT_NE(schema.find("`" + token + "`"), std::string::npos)
         << "JSONL key '" << token << "' is not documented in BENCH_SCHEMA.md";
   }
-  EXPECT_EQ(keys, 29u) << "RunRecord schema size changed; update "
+  EXPECT_EQ(keys, 32u) << "RunRecord schema size changed; update "
                           "docs/BENCH_SCHEMA.md and this pin";
 
   // The nested phase_ms keys are elided when zero, so the default record

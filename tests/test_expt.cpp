@@ -302,7 +302,8 @@ TEST(ExptRecordIo, CsvHeaderAndQuoting) {
             "solver,preset,seed,cell_seed,n,m,classes,status,makespan,"
             "lower_bound,ratio,setups,time_ms,phase_ms,lp_solves,"
             "lp_iterations,lp_dual_solves,fixed_vars,lp_audits_suspect,"
-            "lp_recoveries,lp_oracle_fallbacks,nodes,lp_bounds_used,"
+            "lp_recoveries,lp_oracle_fallbacks,cg_columns,cg_pricing_rounds,"
+            "cg_fallbacks,nodes,lp_bounds_used,"
             "proven_optimal,gap,epsilon,precision,time_limit_s,error");
   EXPECT_NE(out.find("\"bad, \"\"quoted\"\" value\""), std::string::npos);
   // Compact semicolon-separated breakdown, never CSV-quoted.
